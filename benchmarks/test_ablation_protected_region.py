@@ -1,0 +1,52 @@
+"""Ablation: protected-region (cached mapping table) capacity.
+
+The protected region hosts the DFTL-style mapping cache; this sweep shows
+the translation miss rate and world-switch count as the region shrinks —
+why IceClave reserves tens of MB for it.
+"""
+
+import dataclasses
+
+from conftest import print_header, run_once
+
+from repro.core.config import MIB, IceClaveConfig
+from repro.platform import make_platform
+
+SIZES_MIB = (1, 4, 16, 64)
+
+
+def test_ablation_protected_region(benchmark, profiles, config):
+    def experiment():
+        out = {}
+        for size in SIZES_MIB:
+            iceclave_cfg = dataclasses.replace(
+                config.iceclave, protected_region_bytes=size * MIB
+            )
+            cfg = dataclasses.replace(config, iceclave=iceclave_cfg)
+            platform = make_platform("iceclave", cfg)
+            result = platform.run(profiles["tpch-q1"])
+            out[size] = (
+                result.stats["translation_miss_rate"],
+                result.stats["translation_misses"],
+                result.total_time,
+            )
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    print_header(
+        "Ablation: protected region capacity (mapping cache)",
+        "sequential scans miss once per translation page regardless of size;"
+        " capacity matters under multi-tenancy",
+    )
+    print(f"{'size':>7s} {'miss rate':>10s} {'world switches':>15s} {'total':>8s}")
+    for size in SIZES_MIB:
+        rate, misses, total = results[size]
+        print(f"{size:5d}MB {rate*100:9.3f}% {int(misses):15,d} {total:7.2f}s")
+
+    # cold misses dominate a one-pass scan: miss rate stays ~1/512
+    rates = [results[size][0] for size in SIZES_MIB]
+    assert max(rates) - min(rates) < 0.01
+    # and total time is insensitive for single-tenant streaming
+    totals = [results[size][2] for size in SIZES_MIB]
+    assert max(totals) / min(totals) < 1.10

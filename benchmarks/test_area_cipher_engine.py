@@ -1,0 +1,35 @@
+"""§5 area claim: the stream-cipher engine costs ~1.6% of controller area.
+
+The paper runs CACTI 6.5 against an Intel DC P4500-class controller; this
+benchmark reproduces the estimate from the CACTI-style density model.
+"""
+
+from conftest import print_header, run_once
+
+from repro.area import CipherEngineArea
+from repro.area.cacti import NODE_22NM, NODE_32NM, NODE_45NM
+
+
+def test_area_cipher_engine(benchmark):
+    def experiment():
+        return {
+            node.name: CipherEngineArea(node=node)
+            for node in (NODE_45NM, NODE_32NM, NODE_22NM)
+        }
+
+    engines = run_once(benchmark, experiment)
+
+    print_header(
+        "Stream-cipher engine area (CACTI-style estimate)",
+        "~1.6% of a DC P4500-class SSD controller",
+    )
+    print(f"{'node':>6s} {'engine mm2':>11s} {'controller %':>13s} {'pJ/page':>9s}")
+    for name, engine in engines.items():
+        print(f"{name:>6s} {engine.engine_mm2():10.3f} "
+              f"{engine.overhead_fraction()*100:12.2f}% "
+              f"{engine.energy_per_page_pj():8.0f}")
+
+    reference = engines["32nm"]
+    assert 0.008 <= reference.overhead_fraction() <= 0.025
+    # denser nodes shrink the engine
+    assert engines["22nm"].engine_mm2() < engines["32nm"].engine_mm2() < engines["45nm"].engine_mm2()

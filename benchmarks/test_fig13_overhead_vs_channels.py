@@ -1,0 +1,52 @@
+"""Figure 13: IceClave overhead vs ISC as channels scale.
+
+Paper claim: up to 28% (8.6% on average) slower than insecure ISC, with
+the overhead growing as more internal bandwidth makes the security work a
+larger fraction of runtime — most visible on complicated queries (TPC-C).
+"""
+
+import statistics
+
+from conftest import WORKLOAD_ORDER, print_header, run_once
+
+from repro.platform import make_platform
+
+CHANNELS = (4, 8, 16, 32)
+
+
+def test_fig13_overhead_vs_channels(benchmark, profiles, config):
+    def experiment():
+        out = {}
+        for ch in CHANNELS:
+            cfg = config.with_channels(ch)
+            ice = make_platform("iceclave", cfg)
+            isc = make_platform("isc", cfg)
+            out[ch] = {
+                name: ice.run(profiles[name]).overhead_over(isc.run(profiles[name]))
+                for name in WORKLOAD_ORDER
+            }
+        return out
+
+    overheads = run_once(benchmark, experiment)
+
+    print_header(
+        "Figure 13: overhead vs ISC across channel counts",
+        "up to ~28%, 8.6% on average; grows with channels",
+    )
+    print(f"{'workload':>12s} " + " ".join(f"{ch:>6d}ch" for ch in CHANNELS))
+    for name in WORKLOAD_ORDER:
+        print(f"{name:>12s} " + " ".join(f"{overheads[ch][name]*100:+6.1f}%" for ch in CHANNELS))
+    sweep_avg = statistics.mean(
+        statistics.mean(overheads[ch].values()) for ch in CHANNELS
+    )
+    sweep_max = max(max(overheads[ch].values()) for ch in CHANNELS)
+    print(f"\n  sweep average: +{sweep_avg*100:.1f}% (paper 8.6%), "
+          f"max +{sweep_max*100:.1f}% (paper ~28%)")
+
+    assert 0.04 <= sweep_avg <= 0.16
+    # overhead never negative and grows with channel count on average
+    avgs = [statistics.mean(overheads[ch].values()) for ch in CHANNELS]
+    assert all(a >= 0 for a in avgs)
+    assert avgs[-1] > avgs[0]
+    # TPC-C's overhead grows with channels (the paper calls this out)
+    assert overheads[32]["tpcc"] > overheads[8]["tpcc"]

@@ -1,0 +1,54 @@
+"""Figure 15: sensitivity to in-storage computing capability.
+
+Paper claim: performance drops 13.7-33.4% as the ARM core's clock falls
+from 1.6 GHz, and the out-of-order A72 beats the in-order A53 at equal
+frequency.
+"""
+
+import statistics
+
+from conftest import WORKLOAD_ORDER, print_header, run_once
+
+from repro.cpu.models import CORTEX_A53, CORTEX_A72
+from repro.platform import make_platform
+
+SWEEP = [
+    (CORTEX_A72, 1.6e9),
+    (CORTEX_A72, 1.2e9),
+    (CORTEX_A72, 0.8e9),
+    (CORTEX_A53, 1.6e9),
+    (CORTEX_A53, 1.2e9),
+    (CORTEX_A53, 0.8e9),
+]
+
+
+def test_fig15_cpu_capability(benchmark, profiles, config):
+    def experiment():
+        out = {}
+        for core, freq in SWEEP:
+            cfg = config.with_isc_core(core.with_frequency(freq))
+            platform = make_platform("iceclave", cfg)
+            out[(core.name, freq)] = statistics.mean(
+                platform.run(profiles[name]).total_time for name in WORKLOAD_ORDER
+            )
+        return out
+
+    times = run_once(benchmark, experiment)
+
+    baseline = times[("cortex-a72", 1.6e9)]
+    print_header(
+        "Figure 15: in-storage computing capability sweep",
+        "performance drops 13.7-33.4% with weaker cores; OoO A72 > in-order A53",
+    )
+    print(f"{'core':>14s} {'avg time':>10s} {'rel perf':>9s}")
+    for (name, freq), t in times.items():
+        print(f"{name + '@' + str(freq/1e9) + 'GHz':>14s} {t:9.1f}s {baseline/t:8.3f}")
+
+    # shape assertions
+    assert times[("cortex-a72", 1.2e9)] > times[("cortex-a72", 1.6e9)]
+    assert times[("cortex-a72", 0.8e9)] > times[("cortex-a72", 1.2e9)]
+    assert times[("cortex-a53", 1.6e9)] > times[("cortex-a72", 1.6e9)]
+    worst = baseline / times[("cortex-a53", 0.8e9)]
+    assert 0.55 <= worst <= 0.90  # paper band: up to -33.4%
+    mild = baseline / times[("cortex-a72", 1.2e9)]
+    assert mild >= 0.85

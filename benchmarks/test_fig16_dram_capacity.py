@@ -1,0 +1,53 @@
+"""Figure 16: sensitivity to SSD DRAM capacity (4 GB -> 2 GB).
+
+Paper claim: ISC loses 12-44% with half the DRAM (working data no longer
+fits and is re-fetched from flash); IceClave follows the same trend while
+keeping its overhead over ISC minimal.
+"""
+
+from conftest import WORKLOAD_ORDER, print_header, run_once
+
+from repro.platform import make_platform
+
+GIB = 1 << 30
+
+
+def test_fig16_dram_capacity(benchmark, profiles, config):
+    def experiment():
+        out = {}
+        for dram in (4 * GIB, 2 * GIB):
+            cfg = config.with_dram(dram)
+            isc = make_platform("isc", cfg)
+            ice = make_platform("iceclave", cfg)
+            out[dram] = {
+                name: (isc.run(profiles[name]).total_time,
+                       ice.run(profiles[name]).total_time)
+                for name in WORKLOAD_ORDER
+            }
+        return out
+
+    times = run_once(benchmark, experiment)
+
+    print_header(
+        "Figure 16: SSD DRAM capacity sweep",
+        "ISC drops 12-44% at 2 GB; IceClave tracks ISC",
+    )
+    print(f"{'workload':>12s} {'isc drop':>9s} {'ice drop':>9s} {'ice-vs-isc@2GB':>15s}")
+    drops = []
+    for name in WORKLOAD_ORDER:
+        isc4, ice4 = times[4 * GIB][name]
+        isc2, ice2 = times[2 * GIB][name]
+        isc_drop = isc2 / isc4 - 1
+        ice_drop = ice2 / ice4 - 1
+        drops.append(isc_drop)
+        print(f"{name:>12s} {isc_drop*100:+8.1f}% {ice_drop*100:+8.1f}% "
+              f"{(ice2/isc2-1)*100:+14.1f}%")
+    print(f"\n  ISC drop range: {min(drops)*100:.0f}% .. {max(drops)*100:.0f}% (paper 12-44%)")
+
+    assert 0.05 <= min(drops)
+    assert max(drops) <= 0.60
+    assert max(drops) >= 0.30  # the transactional workloads hurt badly
+    # IceClave stays close to ISC at both capacities
+    for name in WORKLOAD_ORDER:
+        isc2, ice2 = times[2 * GIB][name]
+        assert ice2 / isc2 - 1 < 0.30

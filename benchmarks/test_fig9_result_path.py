@@ -1,0 +1,56 @@
+"""Figure 9 step ⑧: result return over the NVMe interrupt path.
+
+§4.6: "IceClave will initiate a DMA transfer request to the host using
+NVMe interrupts, signaling the readiness of results." This benchmark
+measures that path with the NVMe queue model and shows why in-storage
+computing's result-only transfers are so cheap next to streaming the whole
+dataset: GetResult moves kilobytes, the Host baseline moves gigabytes.
+"""
+
+from conftest import print_header, run_once
+
+from repro.host.nvme import NvmeQueuePair
+from repro.host.pcie import PcieLink
+from repro.sim import Engine
+
+
+def transfer_time(nbytes, queue_depth=8, device_latency=20e-6):
+    engine = Engine()
+    qp = NvmeQueuePair(engine, PcieLink(), queue_depth=queue_depth,
+                       device_latency=device_latency)
+    chunk = 1 << 20
+    remaining = nbytes
+    while remaining > 0:
+        qp.submit("read", min(chunk, remaining))
+        remaining -= chunk
+    return qp.run(), qp
+
+
+def test_fig9_result_path(benchmark, profiles):
+    def experiment():
+        out = {}
+        for name in ("tpch-q1", "filter", "wordcount"):
+            scaled = profiles[name].scaled(32 << 30)
+            result_t, _ = transfer_time(max(4096, scaled.result_bytes))
+            out[name] = (scaled.result_bytes, result_t)
+        dataset_t, _ = transfer_time(1 << 30)  # per-GB cost of the host path
+        out["per-GB-of-dataset"] = (1 << 30, dataset_t)
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    print_header(
+        "Figure 9 step 8: NVMe result return vs dataset streaming",
+        "GetResult moves only results; the host baseline streams everything",
+    )
+    print(f"{'transfer':>20s} {'bytes':>14s} {'time':>12s}")
+    for name, (nbytes, seconds) in results.items():
+        print(f"{name:>20s} {nbytes:>14,d} {seconds*1e3:11.3f}ms")
+
+    # results return in well under a millisecond of NVMe time per command
+    for name in ("tpch-q1", "filter", "wordcount"):
+        nbytes, seconds = results[name]
+        assert seconds < 0.05
+    # streaming a single GB costs orders of magnitude more
+    per_gb = results["per-GB-of-dataset"][1]
+    assert per_gb > 100 * results["tpch-q1"][1]

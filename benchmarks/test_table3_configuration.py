@@ -1,0 +1,57 @@
+"""Table 3: computational SSD simulator configuration.
+
+Verifies that the default configuration reproduces the paper's simulator
+setup exactly, and benchmarks the event-driven device against its
+analytical bandwidth bounds.
+"""
+
+import pytest
+from conftest import print_header, run_once
+
+from repro.flash import FlashGeometry, FlashTiming
+from repro.platform.schemes import flash_read_throughput
+
+
+def test_table3_configuration(benchmark, config):
+    geometry = config.geometry()
+    timing = config.flash_timing
+
+    def experiment():
+        return flash_read_throughput(config)
+
+    throughput = run_once(benchmark, experiment)
+
+    print_header(
+        "Table 3: computational SSD simulator configuration",
+        "1TB SSD: 8ch x 4chips x 4dies x 2planes x 2048blk x 512pg x 4KB",
+    )
+    rows = [
+        ("SSD processor", f"{config.isc_core.name} @ {config.isc_core.frequency_hz/1e9:.1f} GHz"),
+        ("SSD DRAM", f"{config.iceclave.dram_bytes >> 30} GB DDR3"),
+        ("AES-128 delay", f"{config.iceclave.aes_delay*1e9:.0f} ns"),
+        ("capacity", f"{geometry.capacity_bytes >> 40} TB"),
+        ("channels", f"{geometry.channels}"),
+        ("chips/channel", f"{geometry.chips_per_channel}"),
+        ("dies/chip", f"{geometry.dies_per_chip}"),
+        ("planes/die", f"{geometry.planes_per_die}"),
+        ("blocks/plane", f"{geometry.blocks_per_plane}"),
+        ("pages/block", f"{geometry.pages_per_block}"),
+        ("page size", f"{geometry.page_bytes} B"),
+        ("t_RD / t_WR", f"{timing.read_latency*1e6:.0f} / {timing.program_latency*1e6:.0f} us"),
+        ("channel bandwidth", f"{timing.channel_bandwidth/(1<<20):.0f} MB/s"),
+        ("measured internal read bw", f"{throughput/1e9:.2f} GB/s"),
+    ]
+    for label, value in rows:
+        print(f"  {label:>26s}: {value}")
+
+    # Table 3 exactness
+    assert geometry == FlashGeometry()
+    assert geometry.capacity_bytes == 1 << 40
+    assert timing == FlashTiming()
+    assert timing.read_latency == pytest.approx(50e-6)
+    assert timing.program_latency == pytest.approx(300e-6)
+    assert config.iceclave.aes_delay == pytest.approx(60e-9)
+    assert config.iceclave.dram_bytes == 4 << 30
+    # the event-driven device sustains most of the aggregate channel bandwidth
+    aggregate = geometry.channels * timing.channel_bandwidth
+    assert 0.7 * aggregate <= throughput <= aggregate

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Multi-tenant in-storage computing: collocated IceClave TEEs (§6.8).
+
+Reproduces the Figure 17/18 experiments: the TPC-C instance collocated
+with each other workload (two tenants), then a four-tenant mix. Slowdowns
+are relative to each instance running alone.
+"""
+
+import statistics
+
+from repro import MultiTenantIceClave, PlatformConfig, workload_by_name
+
+PARTNERS = ("tpch-q1", "filter", "aggregate", "wordcount", "tpcb", "tpch-q3")
+QUAD = ("tpcc", "tpch-q1", "filter", "wordcount")
+
+
+def main() -> None:
+    config = PlatformConfig()
+    mt = MultiTenantIceClave(config)
+    tpcc = workload_by_name("tpcc").run()
+
+    print("== Figure 17: TPC-C collocated with one other instance ==")
+    print(f"{'pair':>22s} {'tpcc slowdown':>14s} {'partner slowdown':>17s}")
+    for partner_name in PARTNERS:
+        partner = workload_by_name(partner_name).run()
+        results = mt.run([tpcc, partner])
+        slow = [100 * (r.stats["slowdown"] - 1) for r in results]
+        print(f"{'tpcc + ' + partner_name:>22s} {slow[0]:13.1f}% {slow[1]:16.1f}%")
+    print("paper: 6.1%-15.7% degradation for two collocated instances\n")
+
+    print("== Figure 18: four collocated instances ==")
+    profiles = [workload_by_name(n).run() for n in QUAD]
+    results = mt.run(profiles)
+    for r in results:
+        print(f"  {r.workload:>10s}: {100*(r.stats['slowdown']-1):5.1f}% slower "
+              f"(shared mapping-cache miss rate {r.stats['shared_miss_rate']*100:.3f}%)")
+    avg = statistics.mean(r.stats["slowdown"] - 1 for r in results)
+    print(f"  average: {avg*100:.1f}% (paper: 21.4%)")
+
+    demand = results[0].stats["bandwidth_demand"]
+    print(f"\naggregate internal-bandwidth demand: {demand:.2f}x of one SSD "
+          f"({'saturated' if demand > 1 else 'not saturated'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: offload a query to an IceClave-protected SSD.
+
+Runs the TPC-H Q1 pricing-summary query on all four execution schemes of
+the paper (§6.1) and prints the Figure 11-style comparison: total time,
+the load/compute/security breakdown, and IceClave's speedup over the
+host-based baselines.
+"""
+
+from repro import PlatformConfig, make_platform, workload_by_name
+
+SCHEMES = ("host", "host+sgx", "isc", "iceclave")
+
+
+def main() -> None:
+    # profile the workload once (it really executes the query), then let
+    # each platform scale it to the paper's 32 GB dataset
+    workload = workload_by_name("tpch-q1")
+    profile = workload.run()
+    print(f"workload: {profile.name}")
+    print(f"  rows executed: {profile.rows:,}")
+    print(f"  memory write ratio (Table 1): {profile.write_ratio:.2e}")
+    print(f"  query answer (group sums): {profile.answer.num_rows} groups\n")
+
+    config = PlatformConfig()  # Table 3 defaults: 8 channels, A72, 4 GB DRAM
+    results = {name: make_platform(name, config).run(profile) for name in SCHEMES}
+
+    print(f"{'scheme':>10s} {'total':>9s}  breakdown")
+    for name, result in results.items():
+        parts = "  ".join(f"{k}={v:.2f}s" for k, v in result.exposed().items())
+        print(f"{name:>10s} {result.total_time:8.2f}s  {parts}")
+
+    ice = results["iceclave"]
+    print()
+    print(f"IceClave vs Host     : {ice.speedup_over(results['host']):.2f}x faster (paper: 2.31x avg)")
+    print(f"IceClave vs Host+SGX : {ice.speedup_over(results['host+sgx']):.2f}x faster (paper: 2.38x avg)")
+    print(f"IceClave vs ISC      : +{ice.overhead_over(results['isc'])*100:.1f}% overhead (paper: 7.6% avg)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Offload the paper's five TPC-H queries plus the synthetic operators.
+
+Reproduces the Figure 11 view for the analytics workloads: all four
+schemes, per-workload breakdowns, and the summary averages the paper
+quotes (2.31x over Host, 7.6% over ISC).
+"""
+
+import statistics
+
+from repro import PlatformConfig, make_platform, workload_by_name
+
+WORKLOADS = (
+    "arithmetic",
+    "aggregate",
+    "filter",
+    "tpch-q1",
+    "tpch-q3",
+    "tpch-q12",
+    "tpch-q14",
+    "tpch-q19",
+)
+SCHEMES = ("host", "host+sgx", "isc", "iceclave")
+
+
+def main() -> None:
+    config = PlatformConfig()
+    platforms = {name: make_platform(name, config) for name in SCHEMES}
+
+    print(f"{'workload':>12s} | " + " | ".join(f"{s:>9s}" for s in SCHEMES)
+          + " | ice/host  ice-vs-isc")
+    print("-" * 86)
+    speedups, overheads = [], []
+    for name in WORKLOADS:
+        profile = workload_by_name(name).run()
+        results = {s: platforms[s].run(profile) for s in SCHEMES}
+        ice = results["iceclave"]
+        speedup = ice.speedup_over(results["host"])
+        overhead = ice.overhead_over(results["isc"])
+        speedups.append(speedup)
+        overheads.append(overhead)
+        times = " | ".join(f"{results[s].total_time:8.2f}s" for s in SCHEMES)
+        print(f"{name:>12s} | {times} |   {speedup:4.2f}x     +{overhead*100:4.1f}%")
+
+    print("-" * 86)
+    print(f"{'average':>12s} | {'':>9s} | {'':>9s} | {'':>9s} | {'':>9s} "
+          f"|   {statistics.mean(speedups):4.2f}x     +{statistics.mean(overheads)*100:4.1f}%")
+    print("\npaper (all 11 workloads): 2.31x over Host, 2.38x over Host+SGX, "
+          "+7.6% over ISC")
+
+    # show one full breakdown, Figure 11 style
+    profile = workload_by_name("tpch-q3").run()
+    print("\ntpch-q3 breakdown (stacked, seconds):")
+    for scheme in SCHEMES:
+        result = platforms[scheme].run(profile)
+        parts = "  ".join(f"{k}:{v:6.2f}" for k, v in result.exposed().items())
+        print(f"  {scheme:>9s}  total={result.total_time:6.2f}  [{parts}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro: a full-stack reproduction of IceClave (MICRO 2021).
+
+IceClave is a lightweight trusted execution environment for in-storage
+computing. This package re-implements the complete system the paper
+evaluates, as a behavioral simulation:
+
+- ``repro.core`` — the IceClave contribution: TrustZone-extended memory
+  protection, the TEE runtime, the hybrid-counter memory encryption engine
+  with Bonsai Merkle trees, and the Trivium stream-cipher engine.
+- ``repro.flash`` / ``repro.ftl`` — the SSD substrate: discrete-event
+  flash device and a page-level FTL with GC and wear leveling.
+- ``repro.dram`` / ``repro.cpu`` — DDR3 and processor timing models.
+- ``repro.workloads`` / ``repro.query`` — the Table 4 workloads, really
+  executed by a miniature columnar query engine.
+- ``repro.host`` / ``repro.platform`` — PCIe/SGX host models and the four
+  §6.1 execution schemes, producing the paper's figures.
+
+Quick start::
+
+    from repro import IceClavePlatform, workload_by_name
+
+    result = IceClavePlatform().run(workload_by_name("tpch-q1").run())
+    print(result.total_time, result.components)
+"""
+
+from repro.core import (
+    IceClaveConfig,
+    IceClaveRuntime,
+    MemoryEncryptionEngine,
+    EncryptionScheme,
+    StreamCipherEngine,
+    Tee,
+    TeeState,
+)
+from repro.flash import FlashDevice, FlashGeometry, FlashTiming
+from repro.ftl import Ftl
+from repro.host import IceClaveLibrary
+from repro.platform import (
+    HostPlatform,
+    HostSgxPlatform,
+    IceClavePlatform,
+    IscPlatform,
+    MultiTenantIceClave,
+    PlatformConfig,
+    RunResult,
+    make_platform,
+)
+from repro.workloads import ALL_WORKLOADS, Workload, WorkloadProfile, workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IceClaveConfig",
+    "IceClaveRuntime",
+    "MemoryEncryptionEngine",
+    "EncryptionScheme",
+    "StreamCipherEngine",
+    "Tee",
+    "TeeState",
+    "FlashDevice",
+    "FlashGeometry",
+    "FlashTiming",
+    "Ftl",
+    "IceClaveLibrary",
+    "HostPlatform",
+    "HostSgxPlatform",
+    "IceClavePlatform",
+    "IscPlatform",
+    "MultiTenantIceClave",
+    "PlatformConfig",
+    "RunResult",
+    "make_platform",
+    "ALL_WORKLOADS",
+    "Workload",
+    "WorkloadProfile",
+    "workload_by_name",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""CACTI-style area and energy estimation (§5's 1.6% area claim)."""
+
+from repro.area.cacti import AreaModel, CipherEngineArea, TechnologyNode
+
+__all__ = ["AreaModel", "CipherEngineArea", "TechnologyNode"]

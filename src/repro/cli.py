@@ -1,0 +1,186 @@
+"""Command-line interface: run paper experiments from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro info
+    python -m repro run tpch-q1 --scheme iceclave
+    python -m repro compare wordcount --channels 16
+    python -m repro sweep channels tpch-q3
+    python -m repro sweep dram tpcc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.platform import PlatformConfig, make_platform
+from repro.platform.schemes import SCHEMES, flash_read_throughput
+from repro.workloads import ALL_WORKLOADS, workload_by_name
+
+GIB = 1 << 30
+
+
+def _build_config(args: argparse.Namespace) -> PlatformConfig:
+    config = PlatformConfig()
+    if getattr(args, "channels", None):
+        config = config.with_channels(args.channels)
+    if getattr(args, "dram_gb", None):
+        config = config.with_dram(args.dram_gb * GIB)
+    if getattr(args, "dataset_gb", None):
+        config = config.with_dataset(args.dataset_gb * GIB)
+    if getattr(args, "flash_latency_us", None):
+        config = config.with_flash_read_latency(args.flash_latency_us * 1e-6)
+    return config
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    print("workloads (Table 4):")
+    for name, cls in sorted(ALL_WORKLOADS.items()):
+        print(f"  {name:>12s}  {cls.description}")
+    print("\nschemes (§6.1):")
+    for name in sorted(SCHEMES):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    geometry = config.geometry()
+    print("platform configuration (Table 3 defaults):")
+    print(f"  dataset            : {config.dataset_bytes / GIB:.0f} GB")
+    print(f"  channels           : {config.channels}")
+    print(f"  SSD capacity       : {geometry.capacity_bytes / (1 << 40):.2f} TB")
+    print(f"  flash t_RD/t_WR    : {config.flash_timing.read_latency*1e6:.0f}/"
+          f"{config.flash_timing.program_latency*1e6:.0f} us")
+    print(f"  internal read bw   : {flash_read_throughput(config)/1e9:.2f} GB/s")
+    print(f"  PCIe effective bw  : {config.pcie.effective_bandwidth/1e9:.2f} GB/s")
+    print(f"  SSD cores          : {config.isc_cores}x {config.isc_core.name}")
+    print(f"  SSD DRAM           : {config.iceclave.dram_bytes / GIB:.0f} GB")
+    print(f"  MEE scheme         : {config.mee_scheme.value}")
+    print(f"  counter cache      : {config.iceclave.counter_cache_bytes >> 10} KB")
+    return 0
+
+
+def _check_workload(name: str) -> Optional[str]:
+    if name not in ALL_WORKLOADS:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        print(f"error: unknown workload '{name}' (known: {known})", file=sys.stderr)
+        return None
+    return name
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if _check_workload(args.workload) is None:
+        return 2
+    config = _build_config(args)
+    profile = workload_by_name(args.workload).run()
+    result = make_platform(args.scheme, config).run(profile)
+    print(f"{args.workload} on {args.scheme}: {result.total_time:.2f}s")
+    for part, seconds in result.exposed().items():
+        print(f"  {part:>10s}: {seconds:8.2f}s")
+    if args.verbose:
+        for key, value in sorted(result.stats.items()):
+            print(f"  {key:>28s} = {value:.6g}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    if _check_workload(args.workload) is None:
+        return 2
+    config = _build_config(args)
+    profile = workload_by_name(args.workload).run()
+    results = {s: make_platform(s, config).run(profile) for s in sorted(SCHEMES)}
+    host = results["host"]
+    print(f"{args.workload}: ({config.channels} channels, "
+          f"{config.dataset_bytes / GIB:.0f} GB dataset)")
+    for name, result in results.items():
+        rel = host.total_time / result.total_time
+        print(f"  {name:>9s}: {result.total_time:8.2f}s  ({rel:.2f}x vs host)")
+    ice, isc = results["iceclave"], results["isc"]
+    print(f"  iceclave security overhead over isc: +{ice.overhead_over(isc)*100:.1f}%")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if _check_workload(args.workload) is None:
+        return 2
+    profile = workload_by_name(args.workload).run()
+    base = _build_config(args)
+    if args.parameter == "channels":
+        points = [(f"{ch}ch", base.with_channels(ch)) for ch in (4, 8, 16, 32)]
+    elif args.parameter == "latency":
+        points = [
+            (f"{lat}us", base.with_flash_read_latency(lat * 1e-6))
+            for lat in (10, 30, 50, 70, 90, 110)
+        ]
+    else:  # dram
+        points = [(f"{gb}GB", base.with_dram(gb * GIB)) for gb in (2, 4, 8)]
+    print(f"{args.workload}: sweeping {args.parameter}")
+    print(f"{'point':>8s} {'host':>9s} {'isc':>9s} {'iceclave':>9s} {'ice/host':>9s}")
+    for label, cfg in points:
+        host = make_platform("host", cfg).run(profile)
+        isc = make_platform("isc", cfg).run(profile)
+        ice = make_platform("iceclave", cfg).run(profile)
+        print(f"{label:>8s} {host.total_time:8.2f}s {isc.total_time:8.2f}s "
+              f"{ice.total_time:8.2f}s {ice.speedup_over(host):8.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IceClave (MICRO 2021) reproduction: run paper experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and schemes").set_defaults(func=cmd_list)
+
+    info = sub.add_parser("info", help="show the platform configuration")
+    _add_config_flags(info)
+    info.set_defaults(func=cmd_info)
+
+    run = sub.add_parser("run", help="run one workload on one scheme")
+    run.add_argument("workload")
+    run.add_argument("--scheme", default="iceclave", choices=sorted(SCHEMES))
+    run.add_argument("--verbose", "-v", action="store_true", help="print run stats")
+    _add_config_flags(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="run all four schemes")
+    compare.add_argument("workload")
+    _add_config_flags(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="sensitivity sweep (Figs 12/14/16)")
+    sweep.add_argument("parameter", choices=("channels", "latency", "dram"))
+    sweep.add_argument("workload")
+    _add_config_flags(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--channels", type=int, help="flash channels (default 8)")
+    parser.add_argument("--dram-gb", type=int, help="SSD DRAM capacity in GB")
+    parser.add_argument("--dataset-gb", type=int, help="dataset size in GB (default 32)")
+    parser.add_argument("--flash-latency-us", type=float, help="flash read latency")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into a closed reader (e.g. `| head`): exit quietly
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Remote attestation for in-storage TEEs.
+
+The threat model (§3) assumes a secure channel for offloading, which in
+practice is bootstrapped by attestation: before shipping a decryption key
+to an in-storage TEE, the user verifies a *quote* proving (a) the SSD is a
+genuine IceClave device (device key provisioned by the trusted vendor) and
+(b) the TEE runs exactly the offloaded binary (code measurement).
+
+The scheme mirrors SGX-style local attestation, scaled down to the SSD:
+
+- the vendor provisions a per-device secret; its MAC-derived public
+  *device identity* is registered with the verifier out of band;
+- ``quote(tee, nonce)`` binds the TEE's measurement, its ID, and the
+  verifier's fresh nonce under the device secret;
+- the verifier checks the MAC, the expected measurement, and nonce
+  freshness (replayed quotes are rejected).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Set
+
+from repro.core.exceptions import IceClaveError
+from repro.core.tee import Tee
+from repro.crypto.mac import Mac
+
+
+class AttestationError(IceClaveError):
+    """Quote verification failed."""
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote for one in-storage TEE."""
+
+    device_id: bytes
+    tee_eid: int
+    measurement: bytes
+    nonce: bytes
+    signature: bytes
+
+    def body(self) -> bytes:
+        return b"|".join(
+            [
+                self.device_id,
+                self.tee_eid.to_bytes(2, "big"),
+                self.measurement,
+                self.nonce,
+            ]
+        )
+
+
+def measure_code(code: bytes) -> bytes:
+    """The measurement CreateTEE records (matches Tee.measurement)."""
+    return hashlib.blake2b(code, digest_size=16).digest()
+
+
+class AttestationDevice:
+    """The SSD-side quoting facility, keyed by the vendor-provisioned secret."""
+
+    def __init__(self, device_secret: bytes) -> None:
+        if len(device_secret) < 16:
+            raise ValueError("device secret must be at least 128 bits")
+        self._mac = Mac(device_secret)
+        # the public identity the vendor registers with verifiers
+        self.device_id = hashlib.blake2b(
+            b"iceclave-device-id" + device_secret, digest_size=8
+        ).digest()
+
+    def quote(self, tee: Tee, nonce: bytes) -> Quote:
+        """Produce a quote binding the TEE's measurement to ``nonce``."""
+        if len(nonce) < 8:
+            raise ValueError("nonce must be at least 64 bits")
+        unsigned = Quote(
+            device_id=self.device_id,
+            tee_eid=tee.eid,
+            measurement=tee.measurement,
+            nonce=nonce,
+            signature=b"",
+        )
+        signature = self._mac.digest(unsigned.body())
+        return Quote(
+            device_id=unsigned.device_id,
+            tee_eid=unsigned.tee_eid,
+            measurement=unsigned.measurement,
+            nonce=unsigned.nonce,
+            signature=signature,
+        )
+
+
+class AttestationVerifier:
+    """User-side verifier sharing the device secret via vendor provisioning."""
+
+    def __init__(self, device_secret: bytes, expected_device_id: bytes) -> None:
+        self._mac = Mac(device_secret)
+        self.expected_device_id = expected_device_id
+        self._used_nonces: Set[bytes] = set()
+
+    def fresh_nonce(self, seed: bytes) -> bytes:
+        """Derive a fresh challenge nonce (callers supply entropy)."""
+        nonce = hashlib.blake2b(b"nonce" + seed, digest_size=16).digest()
+        return nonce
+
+    def verify(self, quote: Quote, expected_code: bytes, nonce: bytes) -> None:
+        """Verify a quote; raises :class:`AttestationError` on any mismatch.
+
+        Checks, in order: device identity, signature, measurement against
+        the binary the user believes it offloaded, and nonce freshness.
+        """
+        if quote.device_id != self.expected_device_id:
+            raise AttestationError("quote from an unknown device")
+        if not self._mac.verify(quote.signature, quote.body()):
+            raise AttestationError("quote signature invalid")
+        if quote.measurement != measure_code(expected_code):
+            raise AttestationError(
+                "measurement mismatch: the SSD is not running the offloaded binary"
+            )
+        if quote.nonce != nonce:
+            raise AttestationError("quote answers a different challenge")
+        if nonce in self._used_nonces:
+            raise AttestationError("nonce reuse: possible quote replay")
+        self._used_nonces.add(nonce)

@@ -1,0 +1,28 @@
+"""Exception hierarchy for IceClave's protection machinery."""
+
+from __future__ import annotations
+
+
+class IceClaveError(Exception):
+    """Base class for all IceClave faults."""
+
+
+class MMUFault(IceClaveError):
+    """A memory access violated the region permission encoding (Fig. 6)."""
+
+
+class IntegrityError(IceClaveError):
+    """Memory integrity verification failed (tamper or replay detected)."""
+
+
+class TeeAbort(IceClaveError):
+    """A TEE was aborted via ThrowOutTEE (§4.5)."""
+
+    def __init__(self, tee_id: int, reason: str) -> None:
+        super().__init__(f"TEE {tee_id} aborted: {reason}")
+        self.tee_id = tee_id
+        self.reason = reason
+
+
+class TeeCreationError(IceClaveError):
+    """CreateTEE failed (e.g. program larger than available SSD DRAM)."""

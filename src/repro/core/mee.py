@@ -1,0 +1,473 @@
+"""Memory encryption engine with the hybrid-counter scheme (§4.4, Fig. 7).
+
+Counter organization (64-byte metadata lines):
+
+- **Split-counter block** (SC-64): one 64-bit major counter plus 64 7-bit
+  minor counters — covers the 64 cache lines of one 4 KB page. Used for all
+  pages under ``SPLIT_COUNTER`` and for *writable* pages under ``HYBRID``.
+- **Major-counter block**: eight 64-bit major counters — covers *eight*
+  read-only pages per metadata line (``HYBRID`` only). Because read-only
+  pages never bump minors, dropping them packs 8× more coverage per counter
+  cache line, which is the entire Figure 8 win.
+
+Each data line also carries an 8-byte MAC (8 MACs per metadata line), and
+counter blocks are protected by a Bonsai Merkle tree per counter type; both
+roots live on-chip. A counter-cache hit means the counter (and the tree
+path that authenticated it) is already verified on-chip, so the OTP can be
+precomputed and decryption is pipelined; a miss serializes the counter
+fetch plus the uncached part of the tree walk.
+
+This module is the *timing/traffic* engine. Functional encryption (real
+AES OTPs, real MAC verification, real trees) lives in
+:class:`FunctionalMee` at the bottom, built on the same counter state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from repro.core.config import IceClaveConfig
+from repro.core.counter_cache import CounterCache
+from repro.core.exceptions import IntegrityError
+from repro.core.integrity import BonsaiMerkleTree
+from repro.crypto.aes import AES128
+from repro.crypto.mac import Mac
+
+LINES_PER_PAGE = 64  # 4 KB page / 64 B line
+MAJOR_COUNTERS_PER_BLOCK = 8
+MACS_PER_LINE = 8
+TREE_ARITY = 8
+
+
+class EncryptionScheme(Enum):
+    NONE = "none"
+    SPLIT_COUNTER = "sc64"
+    HYBRID = "hybrid"
+
+
+@dataclass
+class MeeAccessResult:
+    """Cost of one protected memory access."""
+
+    latency: float = 0.0
+    counter_hit: bool = True
+    counter_read_lines: float = 0.0  # encryption traffic (reads)
+    counter_write_lines: float = 0.0  # encryption traffic (write-backs)
+    reencrypt_lines: float = 0.0  # encryption traffic (page re-encryption)
+    mac_read_lines: float = 0.0  # verification traffic
+    mac_write_lines: float = 0.0
+    tree_read_lines: float = 0.0
+    tree_write_lines: float = 0.0
+    reencrypted_page: bool = False
+
+    @property
+    def encryption_lines(self) -> float:
+        return self.counter_read_lines + self.counter_write_lines + self.reencrypt_lines
+
+    @property
+    def verification_lines(self) -> float:
+        return (
+            self.mac_read_lines
+            + self.mac_write_lines
+            + self.tree_read_lines
+            + self.tree_write_lines
+        )
+
+
+@dataclass
+class _SplitBlock:
+    major: int = 0
+    minors: List[int] = field(default_factory=lambda: [0] * LINES_PER_PAGE)
+
+
+@dataclass
+class MeeStats:
+    data_reads: int = 0
+    data_writes: int = 0
+    encryption_lines: float = 0.0
+    verification_lines: float = 0.0
+    encryption_latency_total: float = 0.0
+    verification_latency_total: float = 0.0
+    critical_latency_total: float = 0.0
+    encryption_ops: int = 0
+    verification_ops: int = 0
+    reencryptions: int = 0
+    minor_overflows: int = 0
+    permission_promotions: int = 0
+
+    @property
+    def data_lines(self) -> int:
+        return self.data_reads + self.data_writes
+
+    def encryption_extra_traffic(self) -> float:
+        """Extra memory traffic from encryption, as a fraction (Table 6)."""
+        return self.encryption_lines / self.data_lines if self.data_lines else 0.0
+
+    def verification_extra_traffic(self) -> float:
+        """Extra memory traffic from integrity verification (Table 6)."""
+        return self.verification_lines / self.data_lines if self.data_lines else 0.0
+
+    def mean_encryption_latency(self) -> float:
+        """Average per-op encryption latency (Table 5: 102.6 ns)."""
+        return (
+            self.encryption_latency_total / self.encryption_ops
+            if self.encryption_ops
+            else 0.0
+        )
+
+    def mean_verification_latency(self) -> float:
+        """Average per-op verification latency (Table 5: 151.2 ns)."""
+        return (
+            self.verification_latency_total / self.verification_ops
+            if self.verification_ops
+            else 0.0
+        )
+
+
+class MemoryEncryptionEngine:
+    """Counter management, counter-cache simulation, and cost accounting."""
+
+    def __init__(
+        self,
+        config: IceClaveConfig = IceClaveConfig(),
+        scheme: EncryptionScheme = EncryptionScheme.HYBRID,
+        dram_latency: float = 90e-9,
+        mac_compute_time: float = 80e-9,
+    ) -> None:
+        self.config = config
+        self.scheme = scheme
+        self.dram_latency = dram_latency
+        self.mac_compute_time = mac_compute_time
+        self.cache = CounterCache(config.counter_cache_bytes, config.cache_line_bytes)
+        self._split: Dict[int, _SplitBlock] = {}
+        self._major: Dict[int, int] = {}  # page -> major counter
+        self.stats = MeeStats()
+        # tree depths are sized for the whole protected DRAM
+        dram_pages = config.dram_bytes // config.page_bytes
+        self.split_tree_depth = self._depth(dram_pages)
+        self.major_tree_depth = self._depth(
+            math.ceil(dram_pages / MAJOR_COUNTERS_PER_BLOCK)
+        )
+
+    @staticmethod
+    def _depth(leaves: int) -> int:
+        return max(1, math.ceil(math.log(max(2, leaves), TREE_ARITY)))
+
+    # -- counter bookkeeping -------------------------------------------------
+
+    def _uses_split_block(self, page: int, readonly: bool) -> bool:
+        if self.scheme is EncryptionScheme.SPLIT_COUNTER:
+            return True
+        # HYBRID: read-only pages use major blocks unless already promoted
+        return (not readonly) or page in self._split
+
+    def _counter_key(self, page: int, readonly: bool) -> Tuple[str, int]:
+        if self._uses_split_block(page, readonly):
+            return ("ctr-s", page)
+        return ("ctr-m", page // MAJOR_COUNTERS_PER_BLOCK)
+
+    def counter_of(self, page: int, line: int, readonly: bool) -> Tuple[int, int]:
+        """(major, minor) encryption counter for one cache line."""
+        if self._uses_split_block(page, readonly):
+            block = self._split.setdefault(page, _SplitBlock())
+            return block.major, block.minors[line]
+        return self._major.get(page, 0), 0
+
+    # -- tree walk simulation ----------------------------------------------------
+
+    def _tree_walk(
+        self, kind: str, leaf_index: int, depth: int, dirty: bool
+    ) -> Tuple[float, float, float]:
+        """Walk a counter's tree path through the cache.
+
+        Returns (read_lines, writeback_lines, serialized_levels). The walk
+        stops at the first cached (already verified) node on reads; updates
+        touch the whole path and dirty it.
+        """
+        reads = 0.0
+        writebacks = 0.0
+        serialized = 0.0
+        index = leaf_index
+        for level in range(1, depth + 1):
+            index //= TREE_ARITY
+            hit, victim = self.cache.access((kind, level, index), dirty=dirty)
+            if victim is not None:
+                writebacks += 1
+            if hit and not dirty:
+                break
+            if not hit:
+                reads += 1
+                serialized += 1
+        return reads, writebacks, serialized
+
+    def _is_counter_key(self, key) -> bool:
+        return isinstance(key, tuple) and isinstance(key[0], str) and key[0].startswith("ctr")
+
+    def _charge_victim(self, victim, result: MeeAccessResult) -> None:
+        if victim is None:
+            return
+        if self._is_counter_key(victim):
+            result.counter_write_lines += 1
+        elif victim[0] == "mac":
+            result.mac_write_lines += 1
+        else:
+            result.tree_write_lines += 1
+
+    # -- the two access paths ------------------------------------------------------
+
+    def read(self, page: int, line: int = 0, readonly: bool = True) -> MeeAccessResult:
+        """Account one protected cache-line read from DRAM.
+
+        On a counter-cache hit the OTP is precomputed and the MAC check is
+        pipelined with data use, so nothing lands on the critical path; a
+        miss serializes the counter fetch, the uncached tree walk, and the
+        OTP generation.
+        """
+        self._check_line(line)
+        result = MeeAccessResult()
+        self.stats.data_reads += 1
+        if self.scheme is EncryptionScheme.NONE:
+            return result
+
+        key = self._counter_key(page, readonly)
+        hit, victim = self.cache.access(key)
+        self._charge_victim(victim, result)
+        result.counter_hit = hit
+        enc_latency = self.config.aes_delay  # OTP generation (pipelined on hits)
+        # §4.4: under the hybrid scheme, read-only pages never change, so
+        # their reads skip per-line MAC verification (the counter path is
+        # still authenticated on a miss). SC-64 verifies every access.
+        skip_verify = (
+            self.scheme is EncryptionScheme.HYBRID
+            and readonly
+            and page not in self._split
+        )
+        verify_latency = 0.0 if skip_verify else self.mac_compute_time
+        if not hit:
+            # serialized: fetch counter, authenticate the uncached tree path,
+            # then generate the OTP before the data can be decrypted
+            result.counter_read_lines += 1
+            kind, leaf = key
+            depth = self.split_tree_depth if kind == "ctr-s" else self.major_tree_depth
+            t_reads, t_wb, serialized = self._tree_walk(kind, leaf, depth, dirty=False)
+            result.tree_read_lines += t_reads
+            result.tree_write_lines += t_wb
+            enc_latency += self.dram_latency * (1 + serialized) + self.config.aes_delay
+            verify_latency += self.mac_compute_time * serialized
+        # The per-line data MAC rides in the DRAM spare area alongside the
+        # data burst, so reads pay MAC *compute* but no extra fetch traffic
+        # (this is what keeps read-side verification traffic at the ~2%
+        # Table 6 reports).
+        result.latency = enc_latency + verify_latency
+        critical = enc_latency if not hit else 0.0
+        self._book(result, enc_latency, verify_latency, critical,
+                   performed_verify=not skip_verify)
+        return result
+
+    def write(self, page: int, line: int = 0, readonly: bool = False) -> MeeAccessResult:
+        """Account one protected cache-line write back to DRAM.
+
+        ``readonly`` describes the page's *current* permission: writing a
+        read-only page under HYBRID triggers the dynamic permission change
+        of §4.4 (major counter promoted into the split tree, page
+        re-encrypted).
+        """
+        self._check_line(line)
+        result = MeeAccessResult()
+        self.stats.data_writes += 1
+        if self.scheme is EncryptionScheme.NONE:
+            return result
+
+        enc_latency = self.config.aes_delay  # encrypt the outgoing line
+        verify_latency = self.mac_compute_time  # fresh MAC over the line
+
+        if (
+            self.scheme is EncryptionScheme.HYBRID
+            and readonly
+            and page not in self._split
+        ):
+            enc_latency += self._promote_page(page, result)
+
+        block = self._split.setdefault(page, _SplitBlock())
+        block.minors[line] += 1
+        if block.minors[line] >= self.config.minor_counter_limit:
+            # minor overflow: bump major, reset minors, re-encrypt the page
+            block.major += 1
+            block.minors = [0] * LINES_PER_PAGE
+            self.stats.minor_overflows += 1
+            enc_latency += self._reencrypt_page(result)
+
+        key = ("ctr-s", page)
+        hit, victim = self.cache.access(key, dirty=True)
+        self._charge_victim(victim, result)
+        result.counter_hit = hit
+        if not hit:
+            result.counter_read_lines += 1  # fetch-for-ownership of the block
+            enc_latency += self.dram_latency
+
+        # the write dirties the tree path (BMT update) and the MAC line
+        t_reads, t_wb, _ = self._tree_walk("ctr-s", page, self.split_tree_depth, dirty=True)
+        result.tree_read_lines += t_reads
+        result.tree_write_lines += t_wb
+        mac_hit, mac_victim = self.cache.access(("mac", page, line // MACS_PER_LINE), dirty=True)
+        self._charge_victim(mac_victim, result)
+        if not mac_hit:
+            result.mac_read_lines += 1
+
+        result.latency = enc_latency + verify_latency
+        # writes drain through the write buffer; only page re-encryption
+        # storms stall the pipeline
+        critical = self._reencrypt_stall if result.reencrypted_page else 0.0
+        self._book(result, enc_latency, verify_latency, critical)
+        return result
+
+    def make_readonly(self, page: int) -> None:
+        """Dynamic permission change back to read-only (§4.4).
+
+        The major counter is incremented and copied back to the major tree;
+        split state is dropped.
+        """
+        if self.scheme is not EncryptionScheme.HYBRID:
+            return
+        block = self._split.pop(page, None)
+        if block is not None:
+            self._major[page] = block.major + 1
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _promote_page(self, page: int, result: MeeAccessResult) -> float:
+        """Read-only → writable: seed split state and re-encrypt the page."""
+        major = self._major.pop(page, 0)
+        self._split[page] = _SplitBlock(major=major + 1)
+        self.stats.permission_promotions += 1
+        return self._reencrypt_page(result)
+
+    @property
+    def _reencrypt_stall(self) -> float:
+        return LINES_PER_PAGE * (self.config.aes_delay + self.dram_latency)
+
+    def _reencrypt_page(self, result: MeeAccessResult) -> float:
+        """Re-encrypt all 64 lines of a page under a fresh counter."""
+        result.reencrypt_lines += 2 * LINES_PER_PAGE  # read + write every line
+        result.reencrypted_page = True
+        self.stats.reencryptions += 1
+        # the re-encryption streams through the AES pipeline
+        return LINES_PER_PAGE * self.config.aes_delay
+
+    def _book(
+        self,
+        result: MeeAccessResult,
+        enc_latency: float,
+        verify_latency: float,
+        critical: float,
+        performed_verify: bool = True,
+    ) -> None:
+        self.stats.encryption_lines += result.encryption_lines
+        self.stats.verification_lines += result.verification_lines
+        self.stats.encryption_latency_total += enc_latency
+        self.stats.encryption_ops += 1
+        if performed_verify:
+            self.stats.verification_latency_total += verify_latency
+            self.stats.verification_ops += 1
+        self.stats.critical_latency_total += critical
+
+    @staticmethod
+    def _check_line(line: int) -> None:
+        if not 0 <= line < LINES_PER_PAGE:
+            raise ValueError(f"line {line} out of range [0, {LINES_PER_PAGE})")
+
+    # -- aggregates -----------------------------------------------------------------
+
+    def mean_access_overhead(self) -> float:
+        """Average *critical-path* latency added per data access.
+
+        Hit-path encryption/verification pipelines with data use; only the
+        serialized miss paths and re-encryption storms slow the program.
+        The full per-op latencies (Table 5) are in ``stats``.
+        """
+        ops = self.stats.data_lines
+        if not ops:
+            return 0.0
+        return self.stats.critical_latency_total / ops
+
+    def metadata_storage_bytes(self) -> int:
+        """Current counter storage footprint."""
+        line = self.config.cache_line_bytes
+        split = len(self._split) * line
+        major = math.ceil(len(self._major) / MAJOR_COUNTERS_PER_BLOCK) * line
+        return split + major
+
+
+class FunctionalMee:
+    """Real encryption/MAC/tree machinery over a small page range.
+
+    Used by tests and the attack demo to show that ciphertext in DRAM is
+    unintelligible, tampering is caught by MACs, and replay is caught by
+    the Bonsai Merkle tree.
+    """
+
+    def __init__(self, pages: int, aes_key: bytes, mac_key: bytes) -> None:
+        if pages < 1:
+            raise ValueError("need at least one page")
+        self.pages = pages
+        self._aes = AES128(aes_key)
+        self._mac = Mac(mac_key)
+        self._counters: Dict[int, _SplitBlock] = {
+            p: _SplitBlock() for p in range(pages)
+        }
+        self.tree = BonsaiMerkleTree(mac_key, arity=TREE_ARITY)
+        self.tree.build([self._serialize_counter(p) for p in range(pages)])
+        # attacker-visible stores: ciphertext and MACs live in "DRAM"
+        self.dram_ciphertext: Dict[Tuple[int, int], bytes] = {}
+        self.dram_macs: Dict[Tuple[int, int], bytes] = {}
+
+    def _serialize_counter(self, page: int) -> bytes:
+        block = self._counters[page]
+        return block.major.to_bytes(8, "big") + bytes(
+            m & 0x7F for m in block.minors
+        )
+
+    def _otp(self, page: int, line: int, nbytes: int) -> bytes:
+        major, minor = (
+            self._counters[page].major,
+            self._counters[page].minors[line],
+        )
+        seed = (major << 40) ^ (minor << 24) ^ (page << 8) ^ line
+        return self._aes.otp(seed, nbytes)
+
+    def write_line(self, page: int, line: int, plaintext: bytes) -> None:
+        """Encrypt + MAC a line into DRAM, bumping its minor counter."""
+        self._check(page, line)
+        block = self._counters[page]
+        block.minors[line] += 1
+        pad = self._otp(page, line, len(plaintext))
+        ciphertext = bytes(p ^ k for p, k in zip(plaintext, pad))
+        self.dram_ciphertext[(page, line)] = ciphertext
+        self.dram_macs[(page, line)] = self._mac.digest(
+            ciphertext, self._serialize_counter(page), bytes([line])
+        )
+        self.tree.update(page, self._serialize_counter(page))
+
+    def read_line(self, page: int, line: int) -> bytes:
+        """Verify (MAC + tree) and decrypt a line from DRAM."""
+        self._check(page, line)
+        ciphertext = self.dram_ciphertext.get((page, line))
+        stored_mac = self.dram_macs.get((page, line))
+        if ciphertext is None or stored_mac is None:
+            raise KeyError(f"page {page} line {line} was never written")
+        counter = self._serialize_counter(page)
+        self.tree.verify(page, counter)
+        expected = self._mac.digest(ciphertext, counter, bytes([line]))
+        if expected != stored_mac:
+            raise IntegrityError(f"MAC mismatch on page {page} line {line}")
+        pad = self._otp(page, line, len(ciphertext))
+        return bytes(c ^ k for c, k in zip(ciphertext, pad))
+
+    def _check(self, page: int, line: int) -> None:
+        if not 0 <= page < self.pages:
+            raise ValueError(f"page {page} out of range")
+        if not 0 <= line < LINES_PER_PAGE:
+            raise ValueError(f"line {line} out of range")

@@ -1,0 +1,201 @@
+"""TrustZone-extended memory protection: the three-region model (§4.2).
+
+IceClave partitions SSD DRAM into *normal*, *protected*, and *secure*
+regions (Figure 4). Figure 6 gives the descriptor encoding: the NS bit
+selects the security domain, AP[2:1] the access permissions, and a reserved
+descriptor bit (ES) distinguishes the protected region:
+
+    region     ES  AP[2:1]  NS   normal world    secure world
+    normal      1    01      1   R/W             R/W
+    protected   0    01      1   R (read-only)   R/W
+    secure      0    00      0   no access       R/W
+
+The protected region hosts the cached mapping table so in-storage programs
+can translate addresses without a world switch; only secure-world FTL code
+can update it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exceptions import MMUFault
+
+
+class World(Enum):
+    """Execution security state of the core (TrustZone worlds)."""
+
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+class MemoryRegion(Enum):
+    NORMAL = "normal"
+    PROTECTED = "protected"
+    SECURE = "secure"
+
+
+class AccessType(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class RegionDescriptor:
+    """The Figure 6 descriptor bits for one region."""
+
+    es: int  # reserved bit repurposed to mark the protected region
+    ap: int  # AP[2:1]
+    ns: int  # non-secure bit
+
+    def region(self) -> MemoryRegion:
+        """Decode the bit pattern back to a region (inverse of encoding)."""
+        try:
+            return _BITS_TO_REGION[(self.es, self.ap, self.ns)]
+        except KeyError:
+            raise MMUFault(
+                f"reserved descriptor encoding ES={self.es} AP={self.ap:02b} NS={self.ns}"
+            ) from None
+
+
+_REGION_TO_BITS: Dict[MemoryRegion, RegionDescriptor] = {
+    MemoryRegion.NORMAL: RegionDescriptor(es=1, ap=0b01, ns=1),
+    MemoryRegion.PROTECTED: RegionDescriptor(es=0, ap=0b01, ns=1),
+    MemoryRegion.SECURE: RegionDescriptor(es=0, ap=0b00, ns=0),
+}
+
+_BITS_TO_REGION = {
+    (d.es, d.ap, d.ns): region for region, d in _REGION_TO_BITS.items()
+}
+
+# permission matrix straight from Figure 6
+_PERMISSIONS: Dict[Tuple[MemoryRegion, World], Tuple[bool, bool]] = {
+    # (region, world): (can_read, can_write)
+    (MemoryRegion.NORMAL, World.NORMAL): (True, True),
+    (MemoryRegion.NORMAL, World.SECURE): (True, True),
+    (MemoryRegion.PROTECTED, World.NORMAL): (True, False),
+    (MemoryRegion.PROTECTED, World.SECURE): (True, True),
+    (MemoryRegion.SECURE, World.NORMAL): (False, False),
+    (MemoryRegion.SECURE, World.SECURE): (True, True),
+}
+
+
+def descriptor_for(region: MemoryRegion) -> RegionDescriptor:
+    """The Figure 6 bit pattern for a region."""
+    return _REGION_TO_BITS[region]
+
+
+def check_access(region: MemoryRegion, world: World, access: AccessType) -> None:
+    """Raise :class:`MMUFault` unless the access is allowed by Figure 6."""
+    can_read, can_write = _PERMISSIONS[(region, world)]
+    allowed = can_read if access is AccessType.READ else can_write
+    if not allowed:
+        raise MMUFault(
+            f"{world.value}-world {access.value} to {region.value} region denied"
+        )
+
+
+@dataclass(frozen=True)
+class _Range:
+    start: int
+    end: int  # exclusive
+    region: MemoryRegion
+    owner: Optional[int]  # TEE id for per-TEE normal-region carve-outs
+
+
+class AddressSpace:
+    """The SSD DRAM physical address map with region attributes.
+
+    Layout (low to high): secure region (FTL + IceClave runtime), protected
+    region (cached mapping table), then the normal region from which TEE
+    memory is carved. Normal-region carve-outs are tagged with the owning
+    TEE so cross-TEE accesses fault even inside the normal world.
+    """
+
+    def __init__(
+        self,
+        dram_bytes: int,
+        secure_bytes: int,
+        protected_bytes: int,
+    ) -> None:
+        if secure_bytes + protected_bytes >= dram_bytes:
+            raise ValueError("reserved regions exceed DRAM capacity")
+        self.dram_bytes = dram_bytes
+        self.secure_range = _Range(0, secure_bytes, MemoryRegion.SECURE, None)
+        self.protected_range = _Range(
+            secure_bytes, secure_bytes + protected_bytes, MemoryRegion.PROTECTED, None
+        )
+        self._normal_start = secure_bytes + protected_bytes
+        self._allocations: List[_Range] = []
+        self._alloc_cursor = self._normal_start
+        self.faults = 0
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, nbytes: int, owner: Optional[int] = None) -> _Range:
+        """Carve a normal-region range (a TEE's preallocated memory)."""
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        start = self._alloc_cursor
+        end = start + nbytes
+        if end > self.dram_bytes:
+            raise MemoryError(
+                f"normal region exhausted ({end - self.dram_bytes} bytes over)"
+            )
+        rng = _Range(start, end, MemoryRegion.NORMAL, owner)
+        self._allocations.append(rng)
+        self._alloc_cursor = end
+        return rng
+
+    def free(self, rng: _Range) -> None:
+        """Release a carve-out (naive free list; reuse only at the tail)."""
+        self._allocations.remove(rng)
+        if rng.end == self._alloc_cursor:
+            self._alloc_cursor = rng.start
+
+    def free_bytes(self) -> int:
+        return self.dram_bytes - self._alloc_cursor
+
+    # -- classification and checking ----------------------------------------
+
+    def region_of(self, address: int) -> MemoryRegion:
+        if not 0 <= address < self.dram_bytes:
+            raise MMUFault(f"address {address:#x} outside DRAM")
+        if address < self.secure_range.end:
+            return MemoryRegion.SECURE
+        if address < self.protected_range.end:
+            return MemoryRegion.PROTECTED
+        return MemoryRegion.NORMAL
+
+    def owner_of(self, address: int) -> Optional[int]:
+        for rng in self._allocations:
+            if rng.start <= address < rng.end:
+                return rng.owner
+        return None
+
+    def check(
+        self,
+        address: int,
+        world: World,
+        access: AccessType,
+        tee_id: Optional[int] = None,
+    ) -> MemoryRegion:
+        """Full access check: region permissions plus per-TEE isolation.
+
+        Returns the region on success; raises :class:`MMUFault` otherwise.
+        """
+        try:
+            region = self.region_of(address)
+            check_access(region, world, access)
+            if region is MemoryRegion.NORMAL and world is World.NORMAL:
+                owner = self.owner_of(address)
+                if owner is not None and tee_id is not None and owner != tee_id:
+                    raise MMUFault(
+                        f"TEE {tee_id} touched memory of TEE {owner} at {address:#x}"
+                    )
+        except MMUFault:
+            self.faults += 1
+            raise
+        return region

@@ -1,0 +1,193 @@
+"""RISC-V realization of IceClave's three-region protection (§4.7).
+
+The paper's discussion: as SSD vendors adopt RISC-V controllers, the
+normal/protected/secure regions can be mapped onto RISC-V's privilege
+levels — machine mode (M) hosts the FTL and IceClave runtime, supervisor
+mode (S) the in-storage runtime services, and user mode (U) the offloaded
+programs — with Physical Memory Protection (PMP) entries enforcing the
+region permissions.
+
+This module implements the RISC-V side faithfully enough to prove the
+mapping works: PMP entry encoding (NAPOT/TOR address matching, R/W/X and
+the lock bit), priority-ordered matching, and a checker that reproduces
+exactly the Figure 6 permission matrix:
+
+    region      M-mode      S/U-mode
+    normal      R/W         R/W
+    protected   R/W         R (read-only)
+    secure      R/W         no access
+
+PMP semantics follow the privileged spec: entries are checked in order,
+the first match decides; locked entries bind M-mode too (unlocked entries
+let M-mode through by default, which is what gives the FTL full access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.core.exceptions import MMUFault
+from repro.core.memory_protection import AccessType, MemoryRegion
+
+
+class PrivilegeLevel(Enum):
+    """RISC-V privilege levels (privileged spec v1.10, cited by the paper)."""
+
+    USER = 0  # offloaded in-storage programs
+    SUPERVISOR = 1  # in-storage runtime services
+    MACHINE = 3  # FTL + IceClave runtime
+
+
+class AddressMatch(Enum):
+    OFF = 0
+    TOR = 1  # top-of-range: previous entry's address .. this address
+    NAPOT = 3  # naturally aligned power-of-two region
+
+
+@dataclass(frozen=True)
+class PmpEntry:
+    """One PMP address/config register pair."""
+
+    mode: AddressMatch
+    address: int  # encoded per mode (see napot/tor constructors)
+    readable: bool
+    writable: bool
+    executable: bool
+    locked: bool  # L bit: applies to M-mode as well
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("PMP address must be non-negative")
+        if self.writable and not self.readable:
+            raise ValueError("W without R is a reserved PMP combination")
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def napot(base: int, size: int, r: bool, w: bool, x: bool, locked: bool) -> "PmpEntry":
+        """A naturally aligned power-of-two region [base, base+size)."""
+        if size < 8 or size & (size - 1):
+            raise ValueError("NAPOT size must be a power of two >= 8")
+        if base % size:
+            raise ValueError("NAPOT base must be size-aligned")
+        # pmpaddr encoding: base/4 with low bits set to encode the size
+        encoded = (base >> 2) | ((size >> 3) - 1)
+        return PmpEntry(AddressMatch.NAPOT, encoded, r, w, x, locked)
+
+    @staticmethod
+    def tor(top: int, r: bool, w: bool, x: bool, locked: bool) -> "PmpEntry":
+        """Top-of-range entry; the region floor is the previous entry's top."""
+        if top % 4:
+            raise ValueError("TOR addresses are 4-byte granular")
+        return PmpEntry(AddressMatch.TOR, top >> 2, r, w, x, locked)
+
+    # -- decoding ----------------------------------------------------------------
+
+    def napot_range(self) -> Tuple[int, int]:
+        if self.mode is not AddressMatch.NAPOT:
+            raise ValueError("not a NAPOT entry")
+        trailing_ones = 0
+        addr = self.address
+        while addr & 1:
+            trailing_ones += 1
+            addr >>= 1
+        size = 1 << (trailing_ones + 3)
+        base = (self.address & ~((1 << trailing_ones) - 1)) << 2
+        return base, base + size
+
+    def matches(self, address: int, previous_top: int) -> Tuple[bool, int]:
+        """(does this entry match ``address``, new previous_top)."""
+        if self.mode is AddressMatch.OFF:
+            return False, self.address << 2
+        if self.mode is AddressMatch.TOR:
+            top = self.address << 2
+            return previous_top <= address < top, top
+        base, end = self.napot_range()
+        return base <= address < end, previous_top
+
+
+class PhysicalMemoryProtection:
+    """An ordered bank of PMP entries plus the permission check."""
+
+    MAX_ENTRIES = 16
+
+    def __init__(self, entries: Optional[List[PmpEntry]] = None) -> None:
+        self.entries: List[PmpEntry] = list(entries or [])
+        if len(self.entries) > self.MAX_ENTRIES:
+            raise ValueError(f"at most {self.MAX_ENTRIES} PMP entries")
+        self.faults = 0
+
+    def add(self, entry: PmpEntry) -> None:
+        if len(self.entries) >= self.MAX_ENTRIES:
+            raise ValueError("PMP entry bank is full")
+        self.entries.append(entry)
+
+    def check(self, address: int, privilege: PrivilegeLevel, access: AccessType) -> None:
+        """Raise :class:`MMUFault` unless the access is permitted.
+
+        Priority-ordered first-match; unmatched S/U accesses fail, and
+        unmatched M-mode accesses succeed (the spec's default).
+        """
+        previous_top = 0
+        for entry in self.entries:
+            matched, previous_top = entry.matches(address, previous_top)
+            if not matched:
+                continue
+            if privilege is PrivilegeLevel.MACHINE and not entry.locked:
+                return  # unlocked entries do not constrain M-mode
+            allowed = entry.readable if access is AccessType.READ else entry.writable
+            if not allowed:
+                self.faults += 1
+                raise MMUFault(
+                    f"{privilege.name}-mode {access.value} at {address:#x} denied by PMP"
+                )
+            return
+        if privilege is PrivilegeLevel.MACHINE:
+            return
+        self.faults += 1
+        raise MMUFault(
+            f"{privilege.name}-mode {access.value} at {address:#x}: no PMP match"
+        )
+
+
+def iceclave_pmp_layout(
+    secure_bytes: int, protected_bytes: int, dram_bytes: int
+) -> PhysicalMemoryProtection:
+    """Build the PMP configuration realizing Figure 4 on RISC-V (§4.7).
+
+    Layout mirrors :class:`~repro.core.memory_protection.AddressSpace`:
+    secure region at the bottom, then the protected region, then normal
+    memory. All three entries use TOR matching so arbitrary (4-byte
+    aligned) region sizes work.
+    """
+    for name, value in (("secure", secure_bytes), ("protected", protected_bytes)):
+        if value <= 0 or value % 4:
+            raise ValueError(f"{name} region must be positive and 4-byte aligned")
+    if secure_bytes + protected_bytes >= dram_bytes:
+        raise ValueError("reserved regions exceed DRAM")
+    return PhysicalMemoryProtection(
+        [
+            # secure region: no R/W for S/U; unlocked so M-mode passes
+            PmpEntry.tor(secure_bytes, r=False, w=False, x=False, locked=False),
+            # protected region: read-only for S/U (the cached mapping table)
+            PmpEntry.tor(secure_bytes + protected_bytes, r=True, w=False, x=False,
+                         locked=False),
+            # normal region: full access for everyone
+            PmpEntry.tor(dram_bytes, r=True, w=True, x=True, locked=False),
+        ]
+    )
+
+
+def region_of_pmp_layout(
+    address: int, secure_bytes: int, protected_bytes: int, dram_bytes: int
+) -> MemoryRegion:
+    """Classify an address under the standard IceClave PMP layout."""
+    if not 0 <= address < dram_bytes:
+        raise MMUFault(f"address {address:#x} outside DRAM")
+    if address < secure_bytes:
+        return MemoryRegion.SECURE
+    if address < secure_bytes + protected_bytes:
+        return MemoryRegion.PROTECTED
+    return MemoryRegion.NORMAL

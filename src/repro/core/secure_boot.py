@@ -1,0 +1,122 @@
+"""Secure boot of the SSD controller firmware.
+
+The threat model (§3) trusts the SSD vendor and the firmware it ships —
+the FTL and IceClave runtime live in the secure world *because* the boot
+ROM verified them. This module makes that root of trust explicit: a boot
+ROM holding the vendor's verification key checks each firmware stage
+(bootloader → FTL → IceClave runtime) before handing over control, and
+records the boot measurements that attestation quotes can later report.
+
+Signatures are modelled as keyed MACs (the vendor provisions the secret
+into the ROM at manufacturing), which preserves exactly the property the
+simulation needs: only vendor-endorsed images boot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.exceptions import IceClaveError
+from repro.crypto.mac import Mac
+
+
+class SecureBootError(IceClaveError):
+    """A firmware stage failed verification; the controller halts."""
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """One signed firmware stage."""
+
+    name: str
+    payload: bytes
+    version: int
+    signature: bytes
+
+    def digest(self) -> bytes:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.name.encode())
+        h.update(self.version.to_bytes(4, "big"))
+        h.update(self.payload)
+        return h.digest()
+
+
+class VendorSigner:
+    """The vendor's signing facility (manufacturing side)."""
+
+    def __init__(self, vendor_secret: bytes) -> None:
+        if len(vendor_secret) < 16:
+            raise ValueError("vendor secret must be at least 128 bits")
+        self._mac = Mac(vendor_secret)
+
+    def sign(self, name: str, payload: bytes, version: int) -> FirmwareImage:
+        unsigned = FirmwareImage(name=name, payload=payload, version=version,
+                                 signature=b"")
+        return FirmwareImage(
+            name=name,
+            payload=payload,
+            version=version,
+            signature=self._mac.digest(unsigned.digest()),
+        )
+
+
+@dataclass
+class BootReport:
+    """What booted, in order, with measurements (feeds attestation)."""
+
+    stages: List[str] = field(default_factory=list)
+    measurements: Dict[str, bytes] = field(default_factory=dict)
+    versions: Dict[str, int] = field(default_factory=dict)
+
+    def chain_measurement(self) -> bytes:
+        """A single digest binding the whole boot chain."""
+        h = hashlib.blake2b(digest_size=16)
+        for stage in self.stages:
+            h.update(self.measurements[stage])
+        return h.digest()
+
+
+class BootRom:
+    """The immutable first-stage verifier burned into the controller."""
+
+    BOOT_ORDER = ("bootloader", "ftl", "iceclave-runtime")
+
+    def __init__(self, vendor_secret: bytes) -> None:
+        self._mac = Mac(vendor_secret)
+        # anti-rollback: monotonic minimum version per stage
+        self.min_versions: Dict[str, int] = {name: 0 for name in self.BOOT_ORDER}
+
+    def verify(self, image: FirmwareImage) -> None:
+        if image.name not in self.BOOT_ORDER:
+            raise SecureBootError(f"unknown firmware stage '{image.name}'")
+        if not self._mac.verify(image.signature, image.digest()):
+            raise SecureBootError(f"{image.name}: signature verification failed")
+        if image.version < self.min_versions[image.name]:
+            raise SecureBootError(
+                f"{image.name}: version {image.version} rolled back below "
+                f"{self.min_versions[image.name]}"
+            )
+
+    def boot(self, images: List[FirmwareImage]) -> BootReport:
+        """Verify and 'execute' the chain in order; halt on any failure.
+
+        On success, anti-rollback floors advance to the booted versions.
+        """
+        by_name = {image.name: image for image in images}
+        missing = [name for name in self.BOOT_ORDER if name not in by_name]
+        if missing:
+            raise SecureBootError(f"missing firmware stages: {', '.join(missing)}")
+        report = BootReport()
+        for name in self.BOOT_ORDER:
+            image = by_name[name]
+            self.verify(image)
+            report.stages.append(name)
+            report.measurements[name] = image.digest()
+            report.versions[name] = image.version
+        # commit rollback floors only after the whole chain verified
+        for name in self.BOOT_ORDER:
+            self.min_versions[name] = max(self.min_versions[name],
+                                          by_name[name].version)
+        return report

@@ -1,0 +1,58 @@
+"""Concrete core presets used in the paper's evaluation.
+
+- Cortex-A72 @ 1.6 GHz: the SSD controller's out-of-order core (Table 3:
+  3-wide decode, 5-wide dispatch/retire, 48KB/32KB L1, 1MB L2).
+- Cortex-A53: the in-order alternative of the Figure 15 sweep.
+- Intel i7-7700K @ 4.2 GHz: the host processor of the Host/Host+SGX
+  baselines (§6.1).
+
+IPC and MLP values are calibrated to the relative single-thread throughput
+these cores show on data-processing workloads, which is all the paper's
+figures depend on.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import CoreModel
+
+CORTEX_A72 = CoreModel(
+    name="cortex-a72",
+    frequency_hz=1.6e9,
+    base_ipc=1.6,
+    out_of_order=True,
+    mlp=4.0,
+    dram_latency_s=90e-9,  # DDR3-1600 in the SSD controller
+)
+
+CORTEX_A53 = CoreModel(
+    name="cortex-a53",
+    frequency_hz=1.6e9,
+    base_ipc=1.25,
+    out_of_order=False,
+    mlp=2.2,
+    dram_latency_s=90e-9,
+)
+
+INTEL_I7_7700K = CoreModel(
+    name="i7-7700k",
+    frequency_hz=4.2e9,
+    base_ipc=2.5,
+    out_of_order=True,
+    mlp=10.0,
+    dram_latency_s=60e-9,  # DDR4-3600 host memory
+)
+
+_BY_NAME = {
+    CORTEX_A72.name: CORTEX_A72,
+    CORTEX_A53.name: CORTEX_A53,
+    INTEL_I7_7700K.name: INTEL_I7_7700K,
+}
+
+
+def core_by_name(name: str) -> CoreModel:
+    """Look up a core preset; raises KeyError with the known names."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown core '{name}'; known cores: {known}") from None

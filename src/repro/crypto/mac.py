@@ -1,0 +1,42 @@
+"""Keyed message authentication codes for memory integrity.
+
+The Bonsai Merkle trees (§4.4) hash counter blocks and chain MACs up to a
+root stored "on-chip". We use keyed BLAKE2b truncated to 8 bytes — the same
+MAC width the split-counter literature assumes — via :func:`mac_digest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+MAC_BYTES = 8
+
+
+def mac_digest(key: bytes, *parts: bytes) -> bytes:
+    """Compute a truncated keyed MAC over the concatenation of ``parts``.
+
+    Each part is length-prefixed before hashing so that ("ab", "c") and
+    ("a", "bc") cannot collide.
+    """
+    h = hashlib.blake2b(key=key, digest_size=MAC_BYTES)
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()
+
+
+class Mac:
+    """A stateful MAC helper bound to one key."""
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("MAC key must be non-empty")
+        self._key = key
+
+    def digest(self, *parts: bytes) -> bytes:
+        return mac_digest(self._key, *parts)
+
+    def verify(self, tag: bytes, *parts: bytes) -> bool:
+        """Constant-time comparison of ``tag`` against the computed MAC."""
+        return hmac.compare_digest(tag, self.digest(*parts))

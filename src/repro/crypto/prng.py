@@ -1,0 +1,45 @@
+"""Deterministic pseudo-random number generator for IV construction.
+
+The stream-cipher engine builds IVs as PPA ‖ PRNG output (§5). A xorshift64*
+generator gives the temporally unique component; determinism keeps the whole
+simulation reproducible.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class XorShift64:
+    """xorshift64* PRNG (Vigna); 64-bit output per step, period 2^64 - 1."""
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        seed &= _MASK64
+        if seed == 0:
+            seed = 0x9E3779B97F4A7C15
+        self._state = seed
+
+    def next_u64(self) -> int:
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        x &= _MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_bytes(self, nbytes: int) -> bytes:
+        out = bytearray()
+        while len(out) < nbytes:
+            out.extend(self.next_u64().to_bytes(8, "little"))
+        return bytes(out[:nbytes])
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in [0, bound) (simple modulo; fine for simulation)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+    def next_float(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) / float(1 << 53)

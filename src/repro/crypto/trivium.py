@@ -1,0 +1,140 @@
+"""Trivium stream cipher (De Canniere & Preneel, eSTREAM portfolio).
+
+IceClave's stream-cipher engine (§5, Figure 10) uses Trivium to cipher data
+moving between flash chips and SSD DRAM. The IV is composed from the flash
+physical page address concatenated with PRNG output, which guarantees spatial
+and temporal uniqueness (see :class:`repro.core.cipher_engine.StreamCipherEngine`).
+
+Two implementations live here:
+
+- :class:`Trivium` — an integer-packed implementation used by the library.
+- :class:`TriviumReference` — a literal, bit-list transcription of the
+  specification, used only by the test suite to cross-check :class:`Trivium`.
+
+Both follow the spec exactly: a 288-bit state, 80-bit key and IV, and
+4 x 288 warm-up rounds before keystream output.
+"""
+
+from __future__ import annotations
+
+KEY_BYTES = 10
+IV_BYTES = 10
+_STATE_BITS = 288
+_WARMUP_ROUNDS = 4 * _STATE_BITS
+
+
+def _bits_from_bytes(data: bytes) -> list:
+    """Expand bytes into a list of bits, LSB of each byte first (spec order)."""
+    bits = []
+    for byte in data:
+        for i in range(8):
+            bits.append((byte >> i) & 1)
+    return bits
+
+
+def _bytes_from_bits(bits: list) -> bytes:
+    out = bytearray(len(bits) // 8)
+    for i, bit in enumerate(bits):
+        if bit:
+            out[i >> 3] |= 1 << (i & 7)
+    return bytes(out)
+
+
+class TriviumReference:
+    """Literal transcription of the Trivium specification (bit lists).
+
+    Slow; exists so tests can cross-validate the packed implementation
+    against an independently written one.
+    """
+
+    def __init__(self, key: bytes, iv: bytes) -> None:
+        if len(key) != KEY_BYTES or len(iv) != IV_BYTES:
+            raise ValueError("Trivium needs an 80-bit key and an 80-bit IV")
+        key_bits = _bits_from_bytes(key)
+        iv_bits = _bits_from_bytes(iv)
+        # s1..s93 = key || 0^13 ; s94..s177 = iv || 0^4 ; s178..s288 = 0^108 || 1^3
+        self._s = (
+            key_bits + [0] * 13 + iv_bits + [0] * 4 + [0] * 108 + [1, 1, 1]
+        )
+        assert len(self._s) == _STATE_BITS
+        for _ in range(_WARMUP_ROUNDS):
+            self._clock()
+
+    def _clock(self) -> int:
+        s = self._s
+        t1 = s[65] ^ s[92]
+        t2 = s[161] ^ s[176]
+        t3 = s[242] ^ s[287]
+        z = t1 ^ t2 ^ t3
+        t1 = t1 ^ (s[90] & s[91]) ^ s[170]
+        t2 = t2 ^ (s[174] & s[175]) ^ s[263]
+        t3 = t3 ^ (s[285] & s[286]) ^ s[68]
+        self._s = [t3] + s[0:92] + [t1] + s[93:176] + [t2] + s[177:287]
+        return z
+
+    def keystream(self, nbytes: int) -> bytes:
+        bits = [self._clock() for _ in range(nbytes * 8)]
+        return _bytes_from_bits(bits)
+
+
+class Trivium:
+    """Trivium with the three shift registers packed into Python ints.
+
+    Register A holds s1..s93 (bit i of the int is s_{i+1}), register B holds
+    s94..s177, register C holds s178..s288. Shifting left by one inserts the
+    new bit at position 0, matching the spec's (t3, s1, ..., s92) rotation.
+    """
+
+    def __init__(self, key: bytes, iv: bytes) -> None:
+        if len(key) != KEY_BYTES or len(iv) != IV_BYTES:
+            raise ValueError("Trivium needs an 80-bit key and an 80-bit IV")
+        self._a = int.from_bytes(key, "little")  # s1..s80, rest zero
+        self._b = int.from_bytes(iv, "little")  # s94..s173, rest zero
+        self._c = 0b111 << 108  # s286..s288 set
+        self._mask_a = (1 << 93) - 1
+        self._mask_b = (1 << 84) - 1
+        self._mask_c = (1 << 111) - 1
+        for _ in range(_WARMUP_ROUNDS):
+            self._clock()
+
+    def _bit(self, reg: int, spec_index: int, base: int) -> int:
+        return (reg >> (spec_index - base)) & 1
+
+    def _clock(self) -> int:
+        a, b, c = self._a, self._b, self._c
+        t1 = self._bit(a, 66, 1) ^ self._bit(a, 93, 1)
+        t2 = self._bit(b, 162, 94) ^ self._bit(b, 177, 94)
+        t3 = self._bit(c, 243, 178) ^ self._bit(c, 288, 178)
+        z = t1 ^ t2 ^ t3
+        t1 ^= (self._bit(a, 91, 1) & self._bit(a, 92, 1)) ^ self._bit(b, 171, 94)
+        t2 ^= (self._bit(b, 175, 94) & self._bit(b, 176, 94)) ^ self._bit(c, 264, 178)
+        t3 ^= (self._bit(c, 286, 178) & self._bit(c, 287, 178)) ^ self._bit(a, 69, 1)
+        self._a = ((a << 1) | t3) & self._mask_a
+        self._b = ((b << 1) | t1) & self._mask_b
+        self._c = ((c << 1) | t2) & self._mask_c
+        return z
+
+    def keystream(self, nbytes: int) -> bytes:
+        """Generate ``nbytes`` of keystream."""
+        out = bytearray(nbytes)
+        for i in range(nbytes):
+            byte = 0
+            for bit_idx in range(8):
+                byte |= self._clock() << bit_idx
+            out[i] = byte
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """XOR ``data`` with keystream (encryption and decryption alike)."""
+        stream = self.keystream(len(data))
+        return bytes(d ^ s for d, s in zip(data, stream))
+
+
+def encrypt(key: bytes, iv: bytes, data: bytes) -> bytes:
+    """One-shot Trivium encryption (symmetric with :func:`decrypt`)."""
+    return Trivium(key, iv).process(data)
+
+
+def decrypt(key: bytes, iv: bytes, data: bytes) -> bytes:
+    """One-shot Trivium decryption."""
+    return Trivium(key, iv).process(data)

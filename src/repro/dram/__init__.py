@@ -1,0 +1,12 @@
+"""SSD DRAM model (the USIMM substitute).
+
+DDR3-1600 bank timing per Table 3 (tRCD-tRAS-tRP-tCL-tWR = 11-28-11-11-12),
+an open-row FR-FCFS-style controller, and measured average access latency
+(AMAT) that the platform-level models consume.
+"""
+
+from repro.dram.timing import DramTiming
+from repro.dram.bank import Bank
+from repro.dram.controller import DramController
+
+__all__ = ["DramTiming", "Bank", "DramController"]

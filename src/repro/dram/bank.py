@@ -1,0 +1,56 @@
+"""DRAM bank state machine: open row, activation/precharge timing."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.timing import DramTiming
+
+
+class Bank:
+    """One DRAM bank with an open-row policy.
+
+    Tracks the open row, the cycle the bank is next free, and the earliest
+    cycle a precharge may issue (tRAS). ``access`` returns the request's
+    completion cycle and classifies it as hit/miss/conflict.
+    """
+
+    HIT = "hit"
+    MISS = "miss"
+    CONFLICT = "conflict"
+
+    def __init__(self, timing: DramTiming) -> None:
+        self.timing = timing
+        self.open_row: Optional[int] = None
+        self.ready_cycle: float = 0.0  # bank free for the next command
+        self.activate_cycle: float = 0.0  # when the current row was opened
+        self.hits = 0
+        self.misses = 0
+        self.conflicts = 0
+
+    def access(self, row: int, now: float, is_write: bool) -> float:
+        """Issue an access to ``row`` at cycle ``now``; returns finish cycle."""
+        t = self.timing
+        start = max(now, self.ready_cycle)
+        if self.open_row == row:
+            self.hits += 1
+            finish = start + t.row_hit_cycles
+        elif self.open_row is None:
+            self.misses += 1
+            finish = start + t.row_miss_cycles
+            self.activate_cycle = start
+            self.open_row = row
+        else:
+            self.conflicts += 1
+            # respect tRAS before precharging the old row
+            pre_start = max(start, self.activate_cycle + t.t_ras)
+            finish = pre_start + t.row_conflict_cycles
+            self.activate_cycle = pre_start + t.t_rp
+            self.open_row = row
+        if is_write:
+            finish += t.t_wr - t.t_cl if t.t_wr > t.t_cl else 0
+        self.ready_cycle = finish
+        return finish
+
+    def classification_counts(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "conflicts": self.conflicts}

@@ -1,0 +1,87 @@
+"""DRAM controller: address interleaving, bank scheduling, AMAT measurement.
+
+Requests are processed in arrival order with an open-row policy per bank
+(first-ready behaviour emerges because independent banks overlap). The
+controller's job in this reproduction is to turn an access stream into a
+measured average latency and row-hit profile that the MEE and platform
+timing models consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.dram.bank import Bank
+from repro.dram.timing import DramTiming
+
+
+class DramController:
+    """Bank-interleaved DRAM with open-row scheduling."""
+
+    def __init__(self, timing: DramTiming = DramTiming(), refresh: bool = True) -> None:
+        self.timing = timing
+        self.refresh = refresh
+        self.banks = [Bank(timing) for _ in range(timing.total_banks)]
+        self.accesses = 0
+        self.total_latency_cycles = 0.0
+        self.refreshes = 0
+        self._clock = 0.0  # arrival clock in cycles
+        self._next_refresh = float(timing.t_refi)
+
+    def _map(self, address: int) -> Tuple[int, int]:
+        """Address → (bank, row). Line-interleaved across banks."""
+        line = address // self.timing.line_bytes
+        bank = line % self.timing.total_banks
+        row = (line // self.timing.total_banks) // (
+            self.timing.row_bytes // self.timing.line_bytes
+        )
+        return bank, row
+
+    def access(self, address: int, is_write: bool = False, arrival_gap: float = 0.0) -> float:
+        """Access one cache line; returns latency in seconds.
+
+        ``arrival_gap`` advances the arrival clock before issuing, modelling
+        the spacing between requests (0 = back-to-back).
+        """
+        if arrival_gap < 0:
+            raise ValueError("arrival_gap must be non-negative")
+        self._clock += arrival_gap / self.timing.cycle_time if arrival_gap else 0.0
+        if self.refresh:
+            self._maybe_refresh()
+        bank_idx, row = self._map(address)
+        finish = self.banks[bank_idx].access(row, self._clock, is_write)
+        latency = finish - self._clock
+        self.accesses += 1
+        self.total_latency_cycles += latency
+        return self.timing.cycles_to_seconds(latency)
+
+    def _maybe_refresh(self) -> None:
+        """All-bank refresh: every tREFI the banks close and stall tRFC."""
+        while self._clock >= self._next_refresh:
+            start = self._next_refresh
+            for bank in self.banks:
+                bank.ready_cycle = max(bank.ready_cycle, start) + self.timing.t_rfc
+                bank.open_row = None  # refresh precharges all banks
+            self.refreshes += 1
+            self._next_refresh += self.timing.t_refi
+
+    def run_trace(self, trace: Iterable[Tuple[int, bool]], gap: float = 0.0) -> float:
+        """Run (address, is_write) pairs; returns mean latency in seconds."""
+        count = 0
+        for address, is_write in trace:
+            self.access(address, is_write, arrival_gap=gap)
+            count += 1
+        if count == 0:
+            return 0.0
+        return self.amat()
+
+    def amat(self) -> float:
+        """Average memory access time in seconds over all accesses so far."""
+        if self.accesses == 0:
+            return 0.0
+        return self.timing.cycles_to_seconds(self.total_latency_cycles / self.accesses)
+
+    def row_hit_rate(self) -> float:
+        hits = sum(b.hits for b in self.banks)
+        total = hits + sum(b.misses + b.conflicts for b in self.banks)
+        return hits / total if total else 0.0

@@ -1,0 +1,71 @@
+"""DDR3 timing parameters (Table 3 of the paper).
+
+DDR3-1600 runs the command clock at 800 MHz (1.25 ns cycles) and transfers
+on both edges, so a 64-byte burst over a 64-bit bus takes 4 cycles (8 beats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """DDR3-1600 timing; values in command-clock cycles unless noted."""
+
+    clock_hz: float = 800e6
+    t_rcd: int = 11  # ACT -> RD/WR
+    t_ras: int = 28  # ACT -> PRE (minimum row-open time)
+    t_rp: int = 11  # PRE -> ACT
+    t_cl: int = 11  # RD -> first data
+    t_wr: int = 12  # write recovery
+    burst_cycles: int = 4  # 64B over a 64-bit DDR bus
+    t_refi: int = 6240  # average refresh interval (7.8 us at 800 MHz)
+    t_rfc: int = 208  # refresh cycle time (260 ns, 4 Gb-class devices)
+    channels: int = 1
+    ranks_per_channel: int = 2
+    banks_per_rank: int = 8
+    row_bytes: int = 8192  # row buffer size
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_ras", "t_rp", "t_cl", "t_wr", "burst_cycles"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles * self.cycle_time
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def row_hit_cycles(self) -> int:
+        """Row-buffer hit: CAS latency plus burst."""
+        return self.t_cl + self.burst_cycles
+
+    @property
+    def row_miss_cycles(self) -> int:
+        """Closed bank: activate, then CAS plus burst."""
+        return self.t_rcd + self.t_cl + self.burst_cycles
+
+    @property
+    def row_conflict_cycles(self) -> int:
+        """Open wrong row: precharge, activate, CAS, burst."""
+        return self.t_rp + self.t_rcd + self.t_cl + self.burst_cycles
+
+    @property
+    def refresh_overhead(self) -> float:
+        """Fraction of time the banks are unavailable due to refresh."""
+        return self.t_rfc / self.t_refi
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Bytes/second across all channels at full burst utilization."""
+        bursts_per_second = self.clock_hz / self.burst_cycles
+        return bursts_per_second * self.line_bytes * self.channels

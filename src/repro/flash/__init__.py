@@ -1,0 +1,23 @@
+"""Flash device model (the SimpleSSD substitute).
+
+Physical layer only: geometry, per-operation timing, chip/plane/block/page
+state machines, ECC behaviour, and a discrete-event device that serializes
+operations over channel and die resources. Everything logical (address
+mapping, GC, wear leveling) lives in :mod:`repro.ftl`.
+"""
+
+from repro.flash.geometry import FlashGeometry, PhysicalAddress
+from repro.flash.timing import FlashTiming
+from repro.flash.chip import FlashChip, PageState
+from repro.flash.ecc import EccModel
+from repro.flash.ssd import FlashDevice
+
+__all__ = [
+    "FlashGeometry",
+    "PhysicalAddress",
+    "FlashTiming",
+    "FlashChip",
+    "PageState",
+    "EccModel",
+    "FlashDevice",
+]

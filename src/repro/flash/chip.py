@@ -1,0 +1,148 @@
+"""Functional flash chip model: page states, program/erase rules, wear.
+
+Enforces the physical constraints §2.1 describes: pages are written
+out-of-place (a programmed page cannot be reprogrammed until its whole block
+is erased), programming within a block must be sequential, and erases happen
+at block granularity and age the block.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.flash.geometry import FlashGeometry
+
+
+class PageState(Enum):
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+class FlashProgramError(Exception):
+    """Raised when a program violates NAND constraints."""
+
+
+class FlashChip:
+    """State for every block/page of the whole flash array.
+
+    Despite the name this tracks the full array (all chips); the per-chip
+    split only matters for timing, which :class:`repro.flash.ssd.FlashDevice`
+    handles via die resources. Page payloads are stored only when
+    ``store_data`` is True (functional mode); timing-only simulations skip
+    the byte storage to stay fast.
+    """
+
+    def __init__(self, geometry: FlashGeometry, store_data: bool = False) -> None:
+        self.geometry = geometry
+        self.store_data = store_data
+        # page states as a flat list indexed by PPA; block wear by global block
+        self._page_state: Dict[int, PageState] = {}
+        self._write_cursor: Dict[int, int] = {}  # global block -> next page index
+        self.block_wear: Dict[int, int] = {}
+        self._data: Dict[int, bytes] = {}
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+
+    # -- state queries -------------------------------------------------------
+
+    def page_state(self, ppa: int) -> PageState:
+        return self._page_state.get(ppa, PageState.FREE)
+
+    def wear_of(self, block: int) -> int:
+        return self.block_wear.get(block, 0)
+
+    def valid_pages_in_block(self, block: int) -> int:
+        base = self._block_base(block)
+        return sum(
+            1
+            for page in range(self.geometry.pages_per_block)
+            if self.page_state(self._ppa_in_block(base, page)) is PageState.VALID
+        )
+
+    def _block_base(self, block: int) -> int:
+        """First PPA of a global block (page index 0)."""
+        plane = block // self.geometry.blocks_per_plane
+        block_in_plane = block % self.geometry.blocks_per_plane
+        die = plane // self.geometry.planes_per_die
+        plane_in_die = plane % self.geometry.planes_per_die
+        chan_chip = die // self.geometry.dies_per_chip
+        die_in_chip = die % self.geometry.dies_per_chip
+        channel = chan_chip // self.geometry.chips_per_channel
+        chip = chan_chip % self.geometry.chips_per_channel
+        from repro.flash.geometry import PhysicalAddress
+
+        return self.geometry.compose(
+            PhysicalAddress(channel, chip, die_in_chip, plane_in_die, block_in_plane, 0)
+        )
+
+    def _ppa_in_block(self, base_ppa: int, page: int) -> int:
+        # consecutive pages in a block are strided by the plane interleave
+        stride = (
+            self.geometry.channels
+            * self.geometry.chips_per_channel
+            * self.geometry.dies_per_chip
+            * self.geometry.planes_per_die
+        )
+        return base_ppa + page * stride
+
+    def pages_of_block(self, block: int) -> List[int]:
+        base = self._block_base(block)
+        return [
+            self._ppa_in_block(base, page)
+            for page in range(self.geometry.pages_per_block)
+        ]
+
+    # -- operations ------------------------------------------------------------
+
+    def read(self, ppa: int) -> Optional[bytes]:
+        """Read a page; returns stored bytes in functional mode, else None."""
+        if self.page_state(ppa) is not PageState.VALID:
+            raise FlashProgramError(f"read of non-valid page {ppa}")
+        self.reads += 1
+        return self._data.get(ppa)
+
+    def program(self, ppa: int, data: Optional[bytes] = None) -> None:
+        """Program a free page; enforces sequential-in-block programming."""
+        state = self.page_state(ppa)
+        if state is not PageState.FREE:
+            raise FlashProgramError(
+                f"page {ppa} is {state.value}; NAND pages cannot be reprogrammed"
+            )
+        block = self.geometry.block_of(ppa)
+        page_index = self.geometry.decompose(ppa).page
+        cursor = self._write_cursor.get(block, 0)
+        if page_index != cursor:
+            raise FlashProgramError(
+                f"block {block}: page {page_index} programmed out of order "
+                f"(expected {cursor})"
+            )
+        self._write_cursor[block] = cursor + 1
+        self._page_state[ppa] = PageState.VALID
+        self.programs += 1
+        if self.store_data:
+            if data is None:
+                raise ValueError("functional mode requires page data")
+            if len(data) > self.geometry.page_bytes:
+                raise ValueError("data larger than a flash page")
+            self._data[ppa] = data
+
+    def invalidate(self, ppa: int) -> None:
+        """Mark a page's contents obsolete (out-of-place overwrite)."""
+        if self.page_state(ppa) is not PageState.VALID:
+            raise FlashProgramError(f"invalidate of non-valid page {ppa}")
+        self._page_state[ppa] = PageState.INVALID
+        self._data.pop(ppa, None)
+
+    def erase(self, block: int) -> None:
+        """Erase a whole block: all pages become FREE, wear increments."""
+        if not 0 <= block < self.geometry.total_blocks:
+            raise ValueError(f"block {block} out of range")
+        for ppa in self.pages_of_block(block):
+            self._page_state.pop(ppa, None)
+            self._data.pop(ppa, None)
+        self._write_cursor[block] = 0
+        self.block_wear[block] = self.block_wear.get(block, 0) + 1
+        self.erases += 1

@@ -1,0 +1,85 @@
+"""ECC behaviour model for flash page reads.
+
+The threat model (§3) relies on the ECC in flash controllers for flash-page
+integrity. This module models a BCH-style code: each page tolerates up to
+``correctable_bits`` raw bit errors; the raw bit error rate (RBER) grows
+exponentially with block wear, which is why wear leveling matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crypto.prng import XorShift64
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    correctable_bits: int = 40  # per page codeword
+    base_rber: float = 1e-7  # fresh-block raw bit error rate
+    wear_scale: float = 3000.0  # P/E cycles per e-fold of RBER growth
+    page_bits: int = 4096 * 8
+
+
+class EccUncorrectableError(Exception):
+    """Raised when a page read has more raw errors than ECC can fix."""
+
+
+class EccModel:
+    """Samples raw bit errors per read and decides correctability."""
+
+    def __init__(self, config: EccConfig = EccConfig(), seed: int = 1) -> None:
+        self.config = config
+        self._rng = XorShift64(seed)
+        self.reads = 0
+        self.corrected_bits = 0
+        self.uncorrectable = 0
+
+    def rber(self, wear: int) -> float:
+        """Raw bit error rate for a block with ``wear`` P/E cycles."""
+        return self.config.base_rber * math.exp(wear / self.config.wear_scale)
+
+    def expected_errors(self, wear: int) -> float:
+        return self.rber(wear) * self.config.page_bits
+
+    def sample_errors(self, wear: int) -> int:
+        """Sample a raw error count (Poisson via inversion, deterministic)."""
+        lam = self.expected_errors(wear)
+        if lam <= 0:
+            return 0
+        # Knuth's algorithm is fine: lambda stays small until extreme wear.
+        if lam > 700:  # avoid math.exp underflow; page is hopeless anyway
+            return int(lam)
+        threshold = math.exp(-lam)
+        count = 0
+        product = self._rng.next_float()
+        while product > threshold:
+            count += 1
+            product *= self._rng.next_float()
+        return count
+
+    def check_read(self, wear: int) -> int:
+        """Run a page read through ECC; returns corrected bit count.
+
+        Raises :class:`EccUncorrectableError` when errors exceed capability.
+        """
+        self.reads += 1
+        errors = self.sample_errors(wear)
+        if errors > self.config.correctable_bits:
+            self.uncorrectable += 1
+            raise EccUncorrectableError(
+                f"{errors} raw bit errors exceed t={self.config.correctable_bits}"
+            )
+        self.corrected_bits += errors
+        return errors
+
+    def wear_limit(self) -> int:
+        """P/E cycles at which the *expected* error count hits ECC capability.
+
+        A first-order endurance estimate used by wear-leveling tests.
+        """
+        ratio = self.config.correctable_bits / (
+            self.config.base_rber * self.config.page_bits
+        )
+        return int(self.config.wear_scale * math.log(ratio))

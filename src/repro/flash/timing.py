@@ -1,0 +1,41 @@
+"""Flash operation timing (Table 3) and derived transfer costs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+MEGABYTE = 1 << 20
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Latency/bandwidth parameters of the flash array.
+
+    Defaults follow Table 3: t_RD = 50 µs, t_WR (program) = 300 µs, and
+    600 MB/s of channel bandwidth. The paper does not give an erase time;
+    3.5 ms is a typical TLC figure and only matters for GC-heavy runs.
+    """
+
+    read_latency: float = 50 * MICROSECOND
+    program_latency: float = 300 * MICROSECOND
+    erase_latency: float = 3.5 * MILLISECOND
+    channel_bandwidth: float = 600 * MEGABYTE  # bytes/second, per channel
+
+    def __post_init__(self) -> None:
+        for name in ("read_latency", "program_latency", "erase_latency"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.channel_bandwidth <= 0:
+            raise ValueError("channel_bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` over one channel."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.channel_bandwidth
+
+    def with_read_latency(self, read_latency: float) -> "FlashTiming":
+        """Copy with a different read latency (Figure 14 sweeps 10–110 µs)."""
+        return replace(self, read_latency=read_latency)

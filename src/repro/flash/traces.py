@@ -1,0 +1,90 @@
+"""Synthetic block-I/O trace generators.
+
+In-storage programs and their host counterparts stress the SSD substrate
+with different access shapes; these generators produce logical request
+streams for :class:`~repro.ftl.ssd_system.SsdSystem`-level studies
+(sequential scans, uniform random, Zipf-skewed hot spots, and mixed
+read/write transaction patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.crypto.prng import XorShift64
+
+IoRequest = Tuple[str, int]  # ("read" | "write", lpa)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    logical_pages: int
+    length: int
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.logical_pages < 1 or self.length < 0:
+            raise ValueError("logical_pages >= 1 and length >= 0 required")
+
+
+def sequential_read(config: TraceConfig, start: int = 0) -> Iterator[IoRequest]:
+    """A streaming scan: the in-storage analytics shape."""
+    for i in range(config.length):
+        yield ("read", (start + i) % config.logical_pages)
+
+
+def sequential_write(config: TraceConfig, start: int = 0) -> Iterator[IoRequest]:
+    """Dataset population / log append."""
+    for i in range(config.length):
+        yield ("write", (start + i) % config.logical_pages)
+
+
+def random_read(config: TraceConfig) -> Iterator[IoRequest]:
+    """Uniform random reads (index probes)."""
+    rng = XorShift64(config.seed)
+    for _ in range(config.length):
+        yield ("read", rng.next_below(config.logical_pages))
+
+
+def zipf_write(config: TraceConfig, hot_fraction: float = 0.1,
+               hot_probability: float = 0.9) -> Iterator[IoRequest]:
+    """Skewed writes: most updates land on a small hot region.
+
+    The classic FTL stress shape — hot blocks invalidate fast (cheap GC)
+    while the cold region pins live data (relocations, wear imbalance).
+    """
+    if not 0.0 < hot_fraction <= 1.0 or not 0.0 <= hot_probability <= 1.0:
+        raise ValueError("fractions must be probabilities")
+    rng = XorShift64(config.seed)
+    hot_pages = max(1, int(config.logical_pages * hot_fraction))
+    for _ in range(config.length):
+        if rng.next_float() < hot_probability:
+            yield ("write", rng.next_below(hot_pages))
+        else:
+            yield ("write", hot_pages + rng.next_below(
+                max(1, config.logical_pages - hot_pages)))
+
+
+def transaction_mix(config: TraceConfig, write_ratio: float = 0.3) -> Iterator[IoRequest]:
+    """OLTP-ish mix: random reads with a fraction of read-modify-writes."""
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError("write_ratio must be a probability")
+    rng = XorShift64(config.seed)
+    written = set()
+    for _ in range(config.length):
+        lpa = rng.next_below(config.logical_pages)
+        if rng.next_float() < write_ratio or lpa not in written:
+            written.add(lpa)
+            yield ("write", lpa)
+        else:
+            yield ("read", lpa)
+
+
+GENERATORS = {
+    "sequential-read": sequential_read,
+    "sequential-write": sequential_write,
+    "random-read": random_read,
+    "zipf-write": zipf_write,
+    "transaction-mix": transaction_mix,
+}

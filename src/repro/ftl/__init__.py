@@ -1,0 +1,27 @@
+"""Flash Translation Layer: the core flash-management substrate (§2.1).
+
+Page-level logical→physical mapping with per-entry TEE ID bits (§4.3),
+log-structured page allocation, greedy garbage collection, wear leveling,
+and the DFTL-style cached mapping table that IceClave places in the
+protected memory region (§4.2).
+"""
+
+from repro.ftl.mapping import MappingEntry, MappingTable, PUBLIC_ID
+from repro.ftl.page_allocator import PageAllocator
+from repro.ftl.gc import GarbageCollector, GcResult
+from repro.ftl.wear_leveling import WearLeveler
+from repro.ftl.mapping_cache import MappingCache
+from repro.ftl.ftl import Ftl, FtlOpCost
+
+__all__ = [
+    "MappingEntry",
+    "MappingTable",
+    "PUBLIC_ID",
+    "PageAllocator",
+    "GarbageCollector",
+    "GcResult",
+    "WearLeveler",
+    "MappingCache",
+    "Ftl",
+    "FtlOpCost",
+]

@@ -1,0 +1,242 @@
+"""FTL orchestrator: ties mapping, allocation, GC and wear leveling together.
+
+The FTL is the secure-world component IceClave protects (§4.2). All methods
+here are functional (they mutate chip/mapping state synchronously) and
+return an :class:`FtlOpCost` describing the physical flash operations each
+logical operation triggered, so the timing layer can charge them on the
+discrete-event device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.gc import GarbageCollector, GcResult
+from repro.ftl.mapping import MappingTable, PUBLIC_ID
+from repro.ftl.page_allocator import PageAllocator
+from repro.ftl.wear_leveling import WearLeveler
+
+
+@dataclass
+class FtlOpCost:
+    """Physical flash work performed by one logical FTL operation."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+    ppa: Optional[int] = None  # resulting physical page for read/write
+    gc: Optional[GcResult] = None
+
+
+@dataclass
+class FtlStats:
+    host_reads: int = 0
+    host_writes: int = 0
+    gc_relocations: int = 0
+    gc_erases: int = 0
+    wl_migrations: int = 0
+    disturb_refreshes: int = 0
+    background_collections: int = 0
+
+
+class Ftl:
+    """Page-level FTL with greedy GC and static wear leveling."""
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        chip: Optional[FlashChip] = None,
+        overprovision: float = 0.125,
+        gc_watermark: int = 2,
+        wear_threshold: int = 16,
+        read_disturb_threshold: int = 100_000,
+    ) -> None:
+        if not 0.0 < overprovision < 1.0:
+            raise ValueError("overprovision must be in (0, 1)")
+        if read_disturb_threshold < 1:
+            raise ValueError("read_disturb_threshold must be >= 1")
+        self.geometry = geometry
+        self.chip = chip or FlashChip(geometry)
+        # logical space excludes the over-provisioned area GC needs
+        self.logical_pages = int(geometry.total_pages * (1.0 - overprovision))
+        self.mapping = MappingTable(self.logical_pages)
+        self.allocator = PageAllocator(geometry, self.chip)
+        self.gc = GarbageCollector(
+            geometry, self.chip, self.mapping, self.allocator, gc_watermark
+        )
+        self.wear_leveler = WearLeveler(
+            geometry, self.chip, self.mapping, self.allocator, wear_threshold
+        )
+        self.read_disturb_threshold = read_disturb_threshold
+        self._block_read_counts: dict = {}
+        # optional DFTL translation-page store (see attach_translation_store)
+        self.translation_store = None
+        self._dirty_translation_pages: set = set()
+        self.translation_writeback_batch = 64
+        self.stats = FtlStats()
+
+    # -- logical operations ------------------------------------------------
+
+    def translate(self, lpa: int, tee_id: int = PUBLIC_ID) -> int:
+        """LPA→PPA with the ID-bit permission check (normal-world path)."""
+        return self.mapping.lookup(lpa, tee_id).ppa
+
+    def read(self, lpa: int, tee_id: int = PUBLIC_ID) -> FtlOpCost:
+        """Read a logical page (permission-checked).
+
+        Tracks per-block read counts: a block read past the disturb
+        threshold is refreshed (valid pages relocated, block erased) to
+        protect neighbouring cells, and the refresh cost is reported.
+        """
+        ppa = self.translate(lpa, tee_id)
+        if self.chip.store_data:
+            self.chip.read(ppa)
+        self.stats.host_reads += 1
+        cost = FtlOpCost(page_reads=1, ppa=ppa)
+        block = self.geometry.block_of(ppa)
+        self._block_read_counts[block] = self._block_read_counts.get(block, 0) + 1
+        if self._block_read_counts[block] >= self.read_disturb_threshold:
+            moved = self._refresh_block(block)
+            cost.page_reads += moved
+            cost.page_programs += moved
+            cost.block_erases += 1
+        return cost
+
+    def _refresh_block(self, block: int) -> int:
+        """Read-disturb refresh: rewrite valid pages, erase the block."""
+        if self.allocator.is_active_block(block):
+            self._block_read_counts[block] = 0
+            return 0  # never refresh the block being filled
+        moved = 0
+        from repro.flash.chip import PageState
+
+        for ppa in self.chip.pages_of_block(block):
+            if self.chip.page_state(ppa) is not PageState.VALID:
+                continue
+            lpa = self.mapping.lpa_of_ppa(ppa)
+            data = self.chip.read(ppa)
+            new_ppa = self.allocator.allocate()
+            self.chip.program(new_ppa, data if self.chip.store_data else None)
+            self.chip.invalidate(ppa)
+            if lpa is not None:
+                self.mapping.update(lpa, new_ppa)
+            moved += 1
+        self.chip.erase(block)
+        self.allocator.release_block(block)
+        self._block_read_counts[block] = 0
+        self.stats.disturb_refreshes += 1
+        return moved
+
+    def read_data(self, lpa: int, tee_id: int = PUBLIC_ID) -> Optional[bytes]:
+        """Functional read returning stored bytes (functional mode only)."""
+        ppa = self.translate(lpa, tee_id)
+        self.stats.host_reads += 1
+        return self.chip.read(ppa)
+
+    def write(
+        self,
+        lpa: int,
+        data: Optional[bytes] = None,
+        owner: Optional[int] = None,
+    ) -> FtlOpCost:
+        """Out-of-place write of a logical page; may trigger GC + leveling.
+
+        Returns the total physical cost including any GC relocations, so a
+        single host write can cost many flash operations (write
+        amplification).
+        """
+        if not 0 <= lpa < self.logical_pages:
+            raise ValueError(f"LPA {lpa} out of range [0, {self.logical_pages})")
+        cost = FtlOpCost()
+        new_ppa = self.allocator.allocate()
+        self.chip.program(new_ppa, data if self.chip.store_data else None)
+        cost.page_programs += 1
+        old_ppa = self.mapping.update(lpa, new_ppa, owner=owner)
+        if old_ppa is not None:
+            self.chip.invalidate(old_ppa)
+        cost.ppa = new_ppa
+        self.stats.host_writes += 1
+        self._note_translation_dirty(lpa, cost)
+
+        gc_total = GcResult()
+        plane = self.geometry.plane_index(new_ppa)
+        if self.gc.needs_gc(plane):
+            gc_total.merge(self.gc.collect_plane(plane))
+        if gc_total.blocks_erased:
+            cost.page_reads += gc_total.pages_relocated
+            cost.page_programs += gc_total.pages_relocated
+            cost.block_erases += gc_total.blocks_erased
+            cost.gc = gc_total
+            self.stats.gc_relocations += gc_total.pages_relocated
+            self.stats.gc_erases += gc_total.blocks_erased
+
+        wl = self.wear_leveler.level()
+        if wl.migrations:
+            cost.page_reads += wl.pages_moved
+            cost.page_programs += wl.pages_moved
+            cost.block_erases += wl.migrations
+            self.stats.wl_migrations += wl.migrations
+        return cost
+
+    def attach_translation_store(self, store) -> None:
+        """Enable DFTL mode: translation pages live on flash (see
+        :class:`~repro.ftl.translation_store.TranslationStore`)."""
+        self.translation_store = store
+
+    def _note_translation_dirty(self, lpa: int, cost: FtlOpCost) -> None:
+        """Mapping updates dirty their translation page; dirty pages are
+        written back in batches, and that flash traffic rides on the
+        triggering host write's cost."""
+        if self.translation_store is None:
+            return
+        self._dirty_translation_pages.add(self.translation_store.translation_page_of(lpa))
+        if len(self._dirty_translation_pages) >= self.translation_writeback_batch:
+            for tpage in sorted(self._dirty_translation_pages):
+                self.translation_store.writeback(tpage)
+                cost.page_programs += 1
+            self._dirty_translation_pages.clear()
+
+    def background_collect(self, soft_watermark: int = 4, max_blocks: int = 1) -> GcResult:
+        """Idle-time GC: reclaim ahead of demand to avoid foreground stalls.
+
+        Collects the emptiest victims in planes whose free-block count has
+        fallen to ``soft_watermark`` (a level above the hard watermark that
+        foreground writes trigger on). Bounded by ``max_blocks`` erases per
+        call so idle work stays preemptible.
+        """
+        if soft_watermark <= self.gc.free_block_watermark:
+            raise ValueError("soft watermark must exceed the foreground watermark")
+        result = GcResult()
+        for plane in range(self.geometry.total_planes):
+            if result.blocks_erased >= max_blocks:
+                break
+            if self.allocator.free_blocks_in_plane(plane) > soft_watermark:
+                continue
+            victim = self.gc.pick_victim(plane)
+            if victim is None:
+                continue
+            self.gc._reclaim(victim, plane, result)
+        if result.blocks_erased:
+            self.stats.background_collections += 1
+            self.stats.gc_relocations += result.pages_relocated
+            self.stats.gc_erases += result.blocks_erased
+        return result
+
+    def trim(self, lpa: int) -> None:
+        """Discard a logical page's mapping and invalidate its flash page."""
+        ppa = self.mapping.unmap(lpa)
+        if ppa is not None:
+            self.chip.invalidate(ppa)
+
+    # -- bulk helpers -------------------------------------------------------
+
+    def write_sequential(self, start_lpa: int, count: int, owner: Optional[int] = None) -> List[FtlOpCost]:
+        """Write ``count`` consecutive logical pages (dataset population)."""
+        return [self.write(start_lpa + i, owner=owner) for i in range(count)]
+
+    def utilization(self) -> float:
+        """Fraction of logical space currently mapped."""
+        return len(self.mapping) / self.logical_pages

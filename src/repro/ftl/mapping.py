@@ -1,0 +1,161 @@
+"""Logical→physical address mapping table with TEE ID bits (§4.3).
+
+Each 8-byte entry stores the PPA plus 4 ID bits identifying the in-storage
+TEE allowed to read it (so 16 concurrent TEE IDs; IceClave recycles IDs).
+ID 0 (:data:`PUBLIC_ID`) marks data not owned by any TEE — host-written data
+that has not been claimed via ``SetIDBits``.
+
+A malicious program probing entries owned by another TEE is denied
+(:class:`AccessDeniedError`), which is exactly attack (2) of the threat
+model. The table also maintains the PPA→LPA reverse map GC needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+ID_BITS = 4
+MAX_TEE_ID = (1 << ID_BITS) - 1
+PUBLIC_ID = 0
+ENTRY_BYTES = 8
+
+
+class AccessDeniedError(Exception):
+    """A TEE touched a mapping entry it does not own."""
+
+
+@dataclass
+class MappingEntry:
+    ppa: int
+    owner: int = PUBLIC_ID  # TEE ID bits; PUBLIC_ID = unowned
+
+    def packed(self) -> int:
+        """Encode as the 8-byte on-DRAM entry (ID bits in the top nibble)."""
+        return (self.owner << 60) | self.ppa
+
+    @classmethod
+    def unpack(cls, raw: int) -> "MappingEntry":
+        return cls(ppa=raw & ((1 << 60) - 1), owner=raw >> 60)
+
+
+class MappingTable:
+    """Sparse page-level mapping table.
+
+    Invariant: the LPA→PPA map is injective — two logical pages never share
+    a physical page. ``lookup`` enforces the ID-bit permission check; FTL
+    internals use ``entry_unchecked`` (they run in the secure world).
+    """
+
+    def __init__(self, total_logical_pages: int) -> None:
+        if total_logical_pages < 1:
+            raise ValueError("need at least one logical page")
+        self.total_logical_pages = total_logical_pages
+        self._forward: Dict[int, MappingEntry] = {}
+        self._reverse: Dict[int, int] = {}  # ppa -> lpa
+        self.permission_checks = 0
+        self.permission_denials = 0
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __contains__(self, lpa: int) -> bool:
+        return lpa in self._forward
+
+    def _check_lpa(self, lpa: int) -> None:
+        if not 0 <= lpa < self.total_logical_pages:
+            raise ValueError(f"LPA {lpa} out of range [0, {self.total_logical_pages})")
+
+    # -- secure-world (FTL-internal) interface --------------------------------
+
+    def entry_unchecked(self, lpa: int) -> Optional[MappingEntry]:
+        """Raw entry access without permission checks (secure world only)."""
+        self._check_lpa(lpa)
+        return self._forward.get(lpa)
+
+    def update(self, lpa: int, ppa: int, owner: Optional[int] = None) -> Optional[int]:
+        """Point ``lpa`` at ``ppa``; returns the previous PPA (now stale).
+
+        Only FTL functions running in the secure world may call this — the
+        protected region gives the normal world read-only access (§4.2).
+        """
+        self._check_lpa(lpa)
+        if ppa in self._reverse and self._reverse[ppa] != lpa:
+            raise ValueError(f"PPA {ppa} already mapped to LPA {self._reverse[ppa]}")
+        old = self._forward.get(lpa)
+        old_ppa = None
+        if old is not None:
+            old_ppa = old.ppa
+            self._reverse.pop(old.ppa, None)
+        keep_owner = owner if owner is not None else (old.owner if old else PUBLIC_ID)
+        self._forward[lpa] = MappingEntry(ppa=ppa, owner=keep_owner)
+        self._reverse[ppa] = lpa
+        return old_ppa
+
+    def unmap(self, lpa: int) -> Optional[int]:
+        """Remove a mapping (trim); returns the freed PPA if there was one."""
+        self._check_lpa(lpa)
+        old = self._forward.pop(lpa, None)
+        if old is None:
+            return None
+        self._reverse.pop(old.ppa, None)
+        return old.ppa
+
+    def lpa_of_ppa(self, ppa: int) -> Optional[int]:
+        """Reverse lookup used by GC to find the owner of a valid page."""
+        return self._reverse.get(ppa)
+
+    def set_id_bits(self, lpa: int, tee_id: int) -> None:
+        """SetIDBits(): stamp ownership on an entry at TEE creation (§4.5)."""
+        self._check_lpa(lpa)
+        if not 0 <= tee_id <= MAX_TEE_ID:
+            raise ValueError(f"TEE ID must fit in {ID_BITS} bits")
+        entry = self._forward.get(lpa)
+        if entry is None:
+            raise KeyError(f"LPA {lpa} has no mapping to stamp")
+        entry.owner = tee_id
+
+    def clear_id_bits(self, tee_id: int) -> int:
+        """Release all entries owned by ``tee_id`` (TEE termination).
+
+        Returns how many entries were released.
+        """
+        released = 0
+        for entry in self._forward.values():
+            if entry.owner == tee_id:
+                entry.owner = PUBLIC_ID
+                released += 1
+        return released
+
+    # -- normal-world (in-storage program) interface ----------------------------
+
+    def lookup(self, lpa: int, tee_id: int) -> MappingEntry:
+        """Permission-checked read of a mapping entry (§4.3).
+
+        A TEE may read entries it owns and unowned (public) entries. Reading
+        an entry owned by another TEE raises :class:`AccessDeniedError`.
+        """
+        self._check_lpa(lpa)
+        self.permission_checks += 1
+        entry = self._forward.get(lpa)
+        if entry is None:
+            raise KeyError(f"LPA {lpa} is unmapped")
+        if entry.owner not in (PUBLIC_ID, tee_id):
+            self.permission_denials += 1
+            raise AccessDeniedError(
+                f"TEE {tee_id} denied access to LPA {lpa} owned by TEE {entry.owner}"
+            )
+        return entry
+
+    # -- introspection -----------------------------------------------------------
+
+    def items(self) -> Iterator:
+        return iter(self._forward.items())
+
+    def storage_bytes(self) -> int:
+        """DRAM footprint of the table (8 bytes/entry, §4.3)."""
+        return len(self._forward) * ENTRY_BYTES
+
+    def id_bits_overhead(self) -> float:
+        """Fractional storage cost of the ID bits (paper: 6.25%)."""
+        return ID_BITS / (ENTRY_BYTES * 8)

@@ -1,0 +1,152 @@
+"""Flash-resident translation pages (DFTL-style, after Gupta et al.).
+
+The full page-level mapping table of a 1 TB SSD (~2 GB) cannot live in SSD
+DRAM; DFTL keeps it in dedicated *translation pages* on flash, with a
+global translation directory (GTD) locating the current flash copy of each
+one. The protected-region cache (:class:`~repro.ftl.mapping_cache.
+MappingCache`) holds the hot subset; on a miss the secure-world FTL reads
+the translation page from flash (Figure 9 step ⑤), and dirty cached pages
+are written back out-of-place, updating the GTD.
+
+This module manages the translation pages' own flash residency: dedicated
+blocks, out-of-place updates, and their garbage collection, with exact
+counts of the extra flash traffic address translation causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.flash.chip import FlashChip, PageState
+from repro.flash.geometry import FlashGeometry
+
+ENTRIES_PER_TRANSLATION_PAGE = 512  # 4 KB page / 8 B entry
+
+
+@dataclass
+class TranslationStats:
+    page_reads: int = 0  # translation pages fetched from flash
+    page_writes: int = 0  # dirty translation pages written back
+    gc_relocations: int = 0
+    block_erases: int = 0
+
+
+class TranslationStore:
+    """Flash residency of translation pages, over reserved blocks."""
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        chip: FlashChip,
+        reserved_blocks: Optional[list] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.chip = chip
+        # default: reserve the last blocks of the last plane
+        if reserved_blocks is None:
+            need = max(4, geometry.total_blocks // 64)
+            reserved_blocks = list(range(geometry.total_blocks - need,
+                                         geometry.total_blocks))
+        if len(reserved_blocks) < 2:
+            raise ValueError("need at least two reserved translation blocks")
+        self.blocks = list(reserved_blocks)
+        # GTD: translation-page number -> current flash PPA
+        self.directory: Dict[int, int] = {}
+        self._active_idx = 0
+        self._next_page = 0
+        self._free_blocks: Set[int] = set(self.blocks[1:])
+        self._collecting = False
+        self.stats = TranslationStats()
+
+    # -- placement -----------------------------------------------------------
+
+    def _allocate_slot(self) -> int:
+        """Next free flash page among the reserved blocks (log order)."""
+        block = self.blocks[self._active_idx]
+        pages = self.chip.pages_of_block(block)
+        while self._next_page >= len(pages) or (
+            self.chip.page_state(pages[self._next_page]) is not PageState.FREE
+        ):
+            if self._next_page >= len(pages):
+                self._open_next_block()
+                block = self.blocks[self._active_idx]
+                pages = self.chip.pages_of_block(block)
+            else:
+                self._next_page += 1
+        ppa = pages[self._next_page]
+        self._next_page += 1
+        return ppa
+
+    def _open_next_block(self) -> None:
+        # a free block always exists here: collection runs *ahead* of
+        # demand (below) so GC always has a relocation destination
+        block = min(self._free_blocks)
+        self._free_blocks.remove(block)
+        self._active_idx = self.blocks.index(block)
+        self._next_page = 0
+        if not self._free_blocks and not self._collecting:
+            self._collect()
+
+    def _collect(self) -> None:
+        """GC over translation blocks: keep only GTD-current pages."""
+        live_ppas = set(self.directory.values())
+        best_block = None
+        best_live = None
+        active = self.blocks[self._active_idx]
+        for block in self.blocks:
+            if block == active or block in self._free_blocks:
+                continue
+            live = sum(1 for p in self.chip.pages_of_block(block) if p in live_ppas)
+            if best_live is None or live < best_live:
+                best_live = live
+                best_block = block
+        if best_block is None:
+            raise RuntimeError("translation store exhausted")
+        # relocate live translation pages into the active block
+        self._collecting = True
+        for ppa in self.chip.pages_of_block(best_block):
+            if ppa not in live_ppas:
+                continue
+            tpage = next(t for t, p in self.directory.items() if p == ppa)
+            new_ppa = self._allocate_slot()
+            self.chip.program(new_ppa, b"" if self.chip.store_data else None)
+            self.chip.invalidate(ppa)
+            self.directory[tpage] = new_ppa
+            self.stats.gc_relocations += 1
+        self._collecting = False
+        self.chip.erase(best_block)
+        self._free_blocks.add(best_block)
+        self.stats.block_erases += 1
+
+    # -- the cache-miss protocol ------------------------------------------------
+
+    def fetch(self, tpage: int) -> Optional[int]:
+        """Read a translation page from flash (cache-miss path).
+
+        Returns the PPA read, or None when the page has never been written
+        (a brand-new region of the logical space: the entries are all
+        unmapped and the FTL synthesizes an empty page).
+        """
+        ppa = self.directory.get(tpage)
+        if ppa is None:
+            return None
+        self.stats.page_reads += 1
+        return ppa
+
+    def writeback(self, tpage: int) -> int:
+        """Persist a dirty translation page out-of-place; returns its new PPA."""
+        new_ppa = self._allocate_slot()
+        self.chip.program(new_ppa, b"" if self.chip.store_data else None)
+        old = self.directory.get(tpage)
+        if old is not None and self.chip.page_state(old) is PageState.VALID:
+            self.chip.invalidate(old)
+        self.directory[tpage] = new_ppa
+        self.stats.page_writes += 1
+        return new_ppa
+
+    def resident_pages(self) -> int:
+        return len(self.directory)
+
+    def translation_page_of(self, lpa: int) -> int:
+        return lpa // ENTRIES_PER_TRANSLATION_PAGE

@@ -1,0 +1,7 @@
+"""Host-side models: PCIe link, SGX cost model, and the IceClave library."""
+
+from repro.host.pcie import PcieLink
+from repro.host.sgx import SgxModel
+from repro.host.library import IceClaveLibrary, OffloadHandle
+
+__all__ = ["PcieLink", "SgxModel", "IceClaveLibrary", "OffloadHandle"]

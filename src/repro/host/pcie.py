@@ -1,0 +1,46 @@
+"""PCIe link model: the host↔SSD bottleneck in-storage computing avoids.
+
+The Intel DC P4500 of §6.1 is a PCIe 3.1 x4 device: ~3.94 GB/s raw lane
+bandwidth. The *effective* throughput a host application sees is lower —
+NVMe/protocol overhead plus file-system and buffer management on the host
+data path. ``efficiency`` captures that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1e9
+
+# per-lane usable bandwidth after 128b/130b encoding, by PCIe generation
+_LANE_GBPS = {1: 0.25, 2: 0.5, 3: 0.985, 4: 1.969, 5: 3.938}
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    generation: int = 3
+    lanes: int = 4
+    efficiency: float = 0.47  # protocol + host data-path overhead
+
+    def __post_init__(self) -> None:
+        if self.generation not in _LANE_GBPS:
+            raise ValueError(f"unknown PCIe generation {self.generation}")
+        if self.lanes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"invalid lane count {self.lanes}")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must lie in (0, 1]")
+
+    @property
+    def raw_bandwidth(self) -> float:
+        """Bytes/second before protocol overhead."""
+        return _LANE_GBPS[self.generation] * self.lanes * GB
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bytes/second an application-level sequential read achieves."""
+        return self.raw_bandwidth * self.efficiency
+
+    def transfer_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.effective_bandwidth

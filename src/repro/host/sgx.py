@@ -1,0 +1,52 @@
+"""Behavioral Intel SGX cost model for the Host+SGX baseline (§6.1).
+
+The paper measures that running the queries inside SGX enclaves roughly
+doubles computing time (103% extra on average, §6.2). The inflation has
+three sources, all represented here:
+
+- the enclave MEE encrypts/integrity-checks every cache-line miss;
+- crossing the enclave boundary (ECALL/OCALL) costs ~8,000+ cycles, paid
+  per I/O batch when streaming data in;
+- data beyond the ~93 MB usable EPC must be paged (EWB/ELDU), costing
+  tens of microseconds per 4 KB page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SgxModel:
+    epc_bytes: int = 93 * MIB  # usable EPC of v1 SGX hardware
+    ecall_cycles: int = 8_000
+    paging_time_per_page: float = 8e-6  # EWB + ELDU round trip
+    mee_compute_inflation: float = 1.85  # MEE slowdown on memory-bound work
+    io_batch_bytes: int = 4 * MIB  # streaming granularity into the enclave
+    page_bytes: int = 4096
+
+    def compute_time(
+        self,
+        base_compute_time: float,
+        streamed_bytes: int,
+        working_set_bytes: int,
+        cpu_frequency_hz: float,
+    ) -> float:
+        """Total enclave compute time for work that takes ``base_compute_time``
+        outside the enclave while streaming ``streamed_bytes`` through it."""
+        if base_compute_time < 0 or streamed_bytes < 0:
+            raise ValueError("times and sizes must be non-negative")
+        inflated = base_compute_time * self.mee_compute_inflation
+        ecalls = max(1, streamed_bytes // self.io_batch_bytes)
+        transition_time = ecalls * self.ecall_cycles / cpu_frequency_hz
+        paging_time = 0.0
+        if working_set_bytes > self.epc_bytes:
+            overflow = working_set_bytes - self.epc_bytes
+            paging_time = (overflow // self.page_bytes) * self.paging_time_per_page
+        return inflated + transition_time + paging_time
+
+    def overhead_factor(self, base: float, total: float) -> float:
+        """Extra computing time as a fraction (paper: ~1.03 avg)."""
+        return (total - base) / base if base > 0 else 0.0

@@ -1,0 +1,31 @@
+"""Execution platforms: Host, Host+SGX, ISC, and IceClave (§6.1).
+
+Each platform takes a :class:`~repro.workloads.base.WorkloadProfile`,
+scales it to the configured dataset size, and produces a
+:class:`~repro.platform.metrics.RunResult` with the Figure 11 breakdown
+(data load, compute, security overheads).
+"""
+
+from repro.platform.config import PlatformConfig
+from repro.platform.metrics import RunResult
+from repro.platform.schemes import (
+    HostPlatform,
+    HostSgxPlatform,
+    IceClavePlatform,
+    IscPlatform,
+    SCHEMES,
+    make_platform,
+)
+from repro.platform.multitenant import MultiTenantIceClave
+
+__all__ = [
+    "PlatformConfig",
+    "RunResult",
+    "HostPlatform",
+    "HostSgxPlatform",
+    "IscPlatform",
+    "IceClavePlatform",
+    "SCHEMES",
+    "make_platform",
+    "MultiTenantIceClave",
+]

@@ -1,0 +1,97 @@
+"""Platform configuration: one object holding every sweep knob.
+
+Defaults reproduce Table 3 (the paper's simulator configuration); each
+sensitivity figure changes exactly one field via the ``with_*`` helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import GIB, IceClaveConfig
+from repro.core.mee import EncryptionScheme
+from repro.cpu.core import CoreModel
+from repro.cpu.models import CORTEX_A72, INTEL_I7_7700K
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import FlashTiming
+from repro.host.pcie import PcieLink
+from repro.host.sgx import SgxModel
+
+MAPPING_IN_PROTECTED = "protected"
+MAPPING_IN_SECURE = "secure"
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything the four execution schemes need."""
+
+    dataset_bytes: int = 32 * GIB  # §6.1: tables populated to 32 GB
+    channels: int = 8
+
+    flash_timing: FlashTiming = field(default_factory=FlashTiming)
+    # in-storage compute: SSD controllers ship several cores (§1); the
+    # offloaded operators parallelize across them and the flash channels
+    isc_core: CoreModel = CORTEX_A72
+    isc_cores: int = 4
+    host_core: CoreModel = INTEL_I7_7700K
+    host_cores: int = 4
+    pcie: PcieLink = field(default_factory=PcieLink)
+    sgx: SgxModel = field(default_factory=SgxModel)
+    iceclave: IceClaveConfig = field(default_factory=IceClaveConfig)
+
+    mee_scheme: EncryptionScheme = EncryptionScheme.HYBRID
+    mapping_table_location: str = MAPPING_IN_PROTECTED
+    # pages translated per secure-world round trip when the mapping table
+    # lives in the secure world (the Figure 5 counterfactual)
+    secure_world_translation_batch: int = 24
+    # fraction of streamed pages whose flash read/decrypt is not hidden by
+    # the compute pipeline at steady state
+    pipeline_exposure: float = 0.1
+    # fraction of the MEE's hit-path encrypt/verify latency that escapes
+    # pipelining and lands on the critical path (§6.3 charges every access)
+    mee_latency_exposure: float = 0.04
+    mee_sample_limit: int = 60_000
+    # outstanding flash page reads the controller keeps in flight, per
+    # channel (the per-channel pipelines scale with the channel count)
+    queue_depth_per_channel: int = 12
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.isc_cores < 1 or self.host_cores < 1:
+            raise ValueError("counts must be >= 1")
+        if self.mapping_table_location not in (MAPPING_IN_PROTECTED, MAPPING_IN_SECURE):
+            raise ValueError(f"bad mapping location {self.mapping_table_location}")
+        if not 0.0 <= self.pipeline_exposure <= 1.0:
+            raise ValueError("pipeline_exposure must be a fraction")
+
+    def geometry(self) -> FlashGeometry:
+        """Table 3 geometry at the configured channel count."""
+        return FlashGeometry(channels=self.channels)
+
+    # -- sweep helpers (one per sensitivity figure) ----------------------------
+
+    def with_channels(self, channels: int) -> "PlatformConfig":
+        """Figure 12/13: internal bandwidth sweep."""
+        return replace(self, channels=channels)
+
+    def with_flash_read_latency(self, read_latency: float) -> "PlatformConfig":
+        """Figure 14: flash device latency sweep."""
+        return replace(self, flash_timing=self.flash_timing.with_read_latency(read_latency))
+
+    def with_isc_core(self, core: CoreModel) -> "PlatformConfig":
+        """Figure 15: in-storage computing capability sweep."""
+        return replace(self, isc_core=core)
+
+    def with_dram(self, dram_bytes: int) -> "PlatformConfig":
+        """Figure 16: SSD DRAM capacity sweep."""
+        return replace(self, iceclave=self.iceclave.with_dram(dram_bytes))
+
+    def with_mee_scheme(self, scheme: EncryptionScheme) -> "PlatformConfig":
+        """Figure 8: memory encryption scheme comparison."""
+        return replace(self, mee_scheme=scheme)
+
+    def with_mapping_location(self, location: str) -> "PlatformConfig":
+        """Figure 5: mapping table in protected vs secure world."""
+        return replace(self, mapping_table_location=location)
+
+    def with_dataset(self, dataset_bytes: int) -> "PlatformConfig":
+        return replace(self, dataset_bytes=dataset_bytes)

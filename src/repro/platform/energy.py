@@ -1,0 +1,95 @@
+"""Energy estimation for the execution schemes.
+
+The paper motivates the stream cipher partly by "low performance overhead
+and energy consumption" (§1) and reports minimal energy overhead for the
+SSD controller (§6). This module composes per-operation energy figures —
+flash reads/programs, DRAM accesses, PCIe transfer, core compute, cipher
+and MEE work — into per-run estimates so energy comparisons across schemes
+can be made alongside the timing ones.
+
+Per-op constants are first-order figures from device datasheets and the
+architecture literature; as everywhere in this reproduction, the point is
+the relative shape (ISC moves less data so it burns less link/host energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.area import CipherEngineArea
+from repro.platform.config import PlatformConfig
+from repro.platform.metrics import RunResult
+from repro.workloads.base import WorkloadProfile
+
+PAGE_BYTES = 4096
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-operation energy in joules."""
+
+    flash_read_page: float = 6e-6  # NAND array read + transfer, per 4 KB
+    flash_program_page: float = 25e-6
+    dram_access_line: float = 15e-9  # DDR3 64 B access incl. IO
+    pcie_per_byte: float = 4e-9  # link + host DMA path
+    host_core_watts: float = 22.0  # one i7 core under load
+    isc_core_watts: float = 1.2  # one Cortex-A72 in an SSD controller
+    mee_per_access: float = 2e-9  # AES + MAC engines per protected access
+    sgx_compute_multiplier: float = 1.25
+
+
+class EnergyModel:
+    """Estimate energy for a (profile, RunResult) pair."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        constants: EnergyConstants = EnergyConstants(),
+    ) -> None:
+        self.config = config
+        self.constants = constants
+        self._cipher = CipherEngineArea(channels=config.channels)
+
+    def _flash_energy(self, input_bytes: float) -> float:
+        pages = input_bytes / PAGE_BYTES
+        return pages * self.constants.flash_read_page
+
+    def _dram_energy(self, profile: WorkloadProfile) -> float:
+        return profile.dram_accesses * self.constants.dram_access_line
+
+    def estimate(self, profile: WorkloadProfile, result: RunResult) -> Dict[str, float]:
+        """Joules by component for one run. Keys vary by scheme."""
+        p = profile.scaled(self.config.dataset_bytes)
+        c = self.constants
+        out: Dict[str, float] = {
+            "flash": self._flash_energy(p.input_bytes),
+            "dram": self._dram_energy(p),
+        }
+        compute_time = result.components.get("compute", 0.0)
+        if result.scheme.startswith("host"):
+            out["pcie"] = p.input_bytes * c.pcie_per_byte
+            watts = c.host_core_watts * self.config.host_cores
+            if result.scheme == "host+sgx":
+                watts *= c.sgx_compute_multiplier
+            out["cpu"] = compute_time * watts
+        else:
+            out["pcie"] = p.result_bytes * c.pcie_per_byte  # results only
+            out["cpu"] = compute_time * c.isc_core_watts * self.config.isc_cores
+            if result.scheme.startswith("iceclave"):
+                out["cipher"] = (
+                    p.input_bytes / PAGE_BYTES * self._cipher.energy_per_page_pj() * 1e-12
+                )
+                out["mee"] = p.dram_accesses * c.mee_per_access
+        return out
+
+    def total(self, profile: WorkloadProfile, result: RunResult) -> float:
+        return sum(self.estimate(profile, result).values())
+
+    def cipher_overhead_fraction(self, profile: WorkloadProfile, result: RunResult) -> float:
+        """Cipher energy relative to the whole run (paper: minimal)."""
+        parts = self.estimate(profile, result)
+        cipher = parts.get("cipher", 0.0)
+        total = sum(parts.values())
+        return cipher / total if total else 0.0

@@ -1,0 +1,54 @@
+"""Run results and comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one workload on one platform.
+
+    ``components`` holds the Figure 11 breakdown. Load and compute overlap
+    in streaming platforms, so components need not sum to ``total_time``;
+    ``exposed()`` gives the stacked view used for plotting.
+    """
+
+    workload: str
+    scheme: str
+    total_time: float
+    components: Dict[str, float] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (>1 = faster)."""
+        if self.total_time <= 0:
+            raise ValueError("cannot compare a zero-time run")
+        return other.total_time / self.total_time
+
+    def overhead_over(self, other: "RunResult") -> float:
+        """Fractional slowdown relative to ``other`` (0.076 = +7.6%)."""
+        if other.total_time <= 0:
+            raise ValueError("cannot compare against a zero-time run")
+        return self.total_time / other.total_time - 1.0
+
+    def exposed(self) -> Dict[str, float]:
+        """Stacked breakdown scaled so the parts sum to total_time."""
+        parts = {k: v for k, v in self.components.items() if v > 0}
+        total = sum(parts.values())
+        if total <= 0:
+            return {"total": self.total_time}
+        return {k: v * self.total_time / total for k, v in parts.items()}
+
+
+def geometric_mean(values) -> float:
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("no values")
+    product = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,309 @@
+"""Relational operators with work accounting.
+
+Each operator really computes its result (numpy-vectorized) and reports the
+work performed into an :class:`OpStats`: rows and bytes touched, an
+instruction estimate (per-row costs calibrated for simple cores), and the
+DRAM access pattern via a :class:`TraceRecorder`.
+
+Instruction-cost constants are per row: a predicate evaluation is a few
+ALU ops + a compare; hash build/probe includes hashing and bucket chasing.
+Only ratios matter for the reproduction (compute intensity per byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.query.table import Table
+from repro.query.trace import TraceRecorder
+
+# per-row instruction estimates
+COST_SCAN = 4
+COST_FILTER = 8
+COST_ARITHMETIC = 14
+COST_AGG_UPDATE = 12
+COST_HASH_BUILD = 45
+COST_HASH_PROBE = 32
+COST_EMIT = 10
+
+HASH_ENTRY_BYTES = 32
+REGISTER_RESIDENT_BYTES = 2048  # accumulator sets below this never hit memory
+
+
+@dataclass
+class OpStats:
+    """Accumulated work over a query plan."""
+
+    rows_read: int = 0
+    rows_emitted: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    instructions: float = 0.0
+
+    def merge(self, other: "OpStats") -> "OpStats":
+        self.rows_read += other.rows_read
+        self.rows_emitted += other.rows_emitted
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.instructions += other.instructions
+        return self
+
+
+def scan(
+    table: Table,
+    columns: Sequence[str],
+    stats: OpStats,
+    recorder: Optional[TraceRecorder] = None,
+) -> Dict[str, np.ndarray]:
+    """Stream selected columns of a table; the base of every plan."""
+    out = {name: table.column(name) for name in columns}
+    nbytes = sum(col.dtype.itemsize for col in out.values()) * table.num_rows
+    stats.rows_read += table.num_rows
+    stats.bytes_read += nbytes
+    stats.instructions += COST_SCAN * table.num_rows
+    if recorder is not None:
+        recorder.read_input(nbytes)
+    return out
+
+
+def filter_rows(
+    table: Table,
+    predicate: Callable[[Table], np.ndarray],
+    stats: OpStats,
+    recorder: Optional[TraceRecorder] = None,
+) -> Table:
+    """Select rows matching a vectorized predicate."""
+    mask = predicate(table)
+    if mask.dtype != np.bool_ or len(mask) != table.num_rows:
+        raise ValueError("predicate must return a boolean mask over all rows")
+    stats.rows_read += table.num_rows
+    stats.bytes_read += table.total_bytes()
+    stats.instructions += COST_FILTER * table.num_rows
+    result = table.take(mask, f"{table.name}_filtered")
+    stats.rows_emitted += result.num_rows
+    stats.instructions += COST_EMIT * result.num_rows
+    # pipelined: matching rows flow to the next operator in registers/cache,
+    # so a filter costs input reads but no DRAM materialization
+    if recorder is not None:
+        recorder.read_input(table.total_bytes())
+    return result
+
+
+def arithmetic(
+    table: Table,
+    expr: Callable[[Table], np.ndarray],
+    stats: OpStats,
+    recorder: Optional[TraceRecorder] = None,
+    out_name: str = "value",
+) -> Table:
+    """Row-wise computed column (the Arithmetic workload of Table 4)."""
+    values = expr(table)
+    stats.rows_read += table.num_rows
+    stats.bytes_read += table.total_bytes()
+    stats.rows_emitted += len(values)
+    stats.instructions += COST_ARITHMETIC * table.num_rows
+    result = Table(f"{table.name}_arith", {out_name: values})
+    # pipelined like filter: computed values feed the consumer directly
+    if recorder is not None:
+        recorder.read_input(table.total_bytes())
+    return result
+
+
+def aggregate(
+    table: Table,
+    group_by: Optional[str],
+    aggregations: Dict[str, Callable[[np.ndarray], float]],
+    stats: OpStats,
+    recorder: Optional[TraceRecorder] = None,
+) -> Table:
+    """Group-by aggregation (hash-grouped) or full-table aggregation."""
+    stats.rows_read += table.num_rows
+    stats.bytes_read += table.total_bytes()
+    stats.instructions += COST_AGG_UPDATE * table.num_rows * max(1, len(aggregations))
+    if recorder is not None:
+        recorder.read_input(table.total_bytes())
+
+    if group_by is None:
+        columns = {
+            f"{col}_{fn.__name__}": np.array([fn(table.column(col))])
+            for col, fn in aggregations.items()
+        }
+        result = Table(f"{table.name}_agg", columns)
+    else:
+        keys = table.column(group_by)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        columns: Dict[str, np.ndarray] = {group_by: uniq}
+        for col, fn in aggregations.items():
+            values = table.column(col)
+            out = np.empty(len(uniq), dtype=np.float64)
+            for g in range(len(uniq)):
+                out[g] = fn(values[inverse == g])
+            columns[f"{col}_{fn.__name__}"] = out
+        result = Table(f"{table.name}_agg", columns)
+        # accumulators for a handful of groups live in registers; only
+        # aggregations over many groups materialize a memory-resident table
+        workset = HASH_ENTRY_BYTES * len(uniq)
+        if recorder is not None and workset > REGISTER_RESIDENT_BYTES:
+            recorder.write_workset(workset, table.num_rows)
+
+    stats.rows_emitted += result.num_rows
+    stats.bytes_written += result.total_bytes()
+    if recorder is not None:
+        recorder.write_output(result.total_bytes())
+    return result
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_on: str,
+    right_on: str,
+    stats: OpStats,
+    recorder: Optional[TraceRecorder] = None,
+    suffixes: tuple = ("_l", "_r"),
+    materialize: bool = False,
+) -> Table:
+    """Inner hash join: build on the smaller side, probe with the larger.
+
+    Pipelined by default: matched rows stream to the consumer. Pass
+    ``materialize=True`` when the plan actually spills the join output.
+    """
+    build, probe = (left, right) if left.num_rows <= right.num_rows else (right, left)
+    build_key = left_on if build is left else right_on
+    probe_key = right_on if build is left else left_on
+
+    stats.rows_read += build.num_rows + probe.num_rows
+    stats.bytes_read += build.total_bytes() + probe.total_bytes()
+    stats.instructions += COST_HASH_BUILD * build.num_rows
+    stats.instructions += COST_HASH_PROBE * probe.num_rows
+    if recorder is not None:
+        recorder.read_input(build.total_bytes() + probe.total_bytes())
+        workset = max(HASH_ENTRY_BYTES * build.num_rows, HASH_ENTRY_BYTES)
+        recorder.write_workset(workset, build.num_rows)  # inserts
+        recorder.read_workset(workset, probe.num_rows)  # probes
+
+    # vectorized equi-join via sorted search on the build side
+    build_keys = build.column(build_key)
+    probe_keys = probe.column(probe_key)
+    order = np.argsort(build_keys, kind="stable")
+    sorted_keys = build_keys[order]
+    left_idx = np.searchsorted(sorted_keys, probe_keys, side="left")
+    right_idx = np.searchsorted(sorted_keys, probe_keys, side="right")
+    counts = right_idx - left_idx  # matches per probe row
+
+    probe_rows = np.repeat(np.arange(probe.num_rows), counts)
+    starts = np.repeat(left_idx, counts)
+    within = np.arange(len(starts)) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    build_rows = order[starts + within]
+
+    columns: Dict[str, np.ndarray] = {}
+    b_suffix, p_suffix = (suffixes if build is left else (suffixes[1], suffixes[0]))
+    keys_equal = build_key == probe_key
+    for name, col in build.columns.items():
+        if keys_equal and name == build_key:
+            continue  # identical to the probe-side key column; emit once
+        columns[_disambiguate(name, probe.columns, b_suffix)] = col[build_rows]
+    for name, col in probe.columns.items():
+        if keys_equal and name == probe_key:
+            columns[name] = col[probe_rows]
+        else:
+            columns[_disambiguate(name, build.columns, p_suffix)] = col[probe_rows]
+    result = Table(f"{left.name}_join_{right.name}", columns)
+
+    stats.rows_emitted += result.num_rows
+    stats.instructions += COST_EMIT * result.num_rows
+    if materialize:
+        stats.bytes_written += result.total_bytes()
+        if recorder is not None:
+            recorder.write_output(result.total_bytes())
+    return result
+
+
+def sort_limit(
+    table: Table,
+    by: str,
+    stats: OpStats,
+    recorder: Optional[TraceRecorder] = None,
+    descending: bool = True,
+    limit: Optional[int] = None,
+) -> Table:
+    """ORDER BY ... [LIMIT n]: top-k via partial selection when limited.
+
+    A bounded top-k keeps its heap in cache (no DRAM traffic); a full sort
+    of a large table spills runs through memory.
+    """
+    keys = table.column(by)
+    n = table.num_rows
+    stats.rows_read += n
+    stats.bytes_read += table.total_bytes()
+    if limit is not None and limit < n:
+        # selection + partial sort: O(n) scan with a k-sized heap
+        stats.instructions += (COST_SCAN + 6) * n
+        idx = np.argpartition(keys, -limit if descending else limit - 1)
+        idx = idx[-limit:] if descending else idx[:limit]
+        order = idx[np.argsort(keys[idx])]
+        if descending:
+            order = order[::-1]
+        # the k-entry heap lives in registers/L1: no recorder traffic
+    else:
+        # full sort: n log n compares, runs spill through memory
+        stats.instructions += COST_SCAN * n + 24 * n * max(1, int(np.log2(max(2, n))))
+        order = np.argsort(keys, kind="stable")
+        if descending:
+            order = order[::-1]
+        if recorder is not None:
+            recorder.write_output(table.total_bytes())  # sorted runs
+            recorder.read_input(table.total_bytes())  # merge pass
+    result = table.take(order, f"{table.name}_sorted")
+    stats.rows_emitted += result.num_rows
+    return result
+
+
+def positional_join(
+    probe: Table,
+    dim: Table,
+    probe_key: str,
+    dim_key: str,
+    stats: OpStats,
+    recorder: Optional[TraceRecorder] = None,
+) -> Table:
+    """Join against a dimension table whose key is dense (0..N-1).
+
+    No hash table is built: dimension attributes are gathered by direct
+    array indexing, so the join issues random *reads* over the dimension
+    table but no stores — which is why the paper's part/orders joins show
+    near-zero write ratios (Table 1).
+    """
+    keys = dim.column(dim_key)
+    if len(keys) and (keys[0] != 0 or keys[-1] != len(keys) - 1):
+        raise ValueError(
+            f"positional_join requires a dense key column; '{dim_key}' is not"
+        )
+    index = probe.column(probe_key)
+    if len(index) and (index.min() < 0 or index.max() >= dim.num_rows):
+        raise ValueError("probe keys fall outside the dimension table")
+
+    stats.rows_read += probe.num_rows + dim.num_rows
+    stats.bytes_read += probe.total_bytes()
+    stats.instructions += COST_SCAN * probe.num_rows + COST_EMIT * probe.num_rows
+    if recorder is not None:
+        # random gathers over the read-only dimension table (cache-filtered)
+        recorder.read_workset(dim.total_bytes(), probe.num_rows, readonly=True)
+
+    columns: Dict[str, np.ndarray] = dict(probe.columns)
+    for name, col in dim.columns.items():
+        if name == dim_key:
+            continue
+        columns[_disambiguate(name, probe.columns, "_dim")] = col[index]
+    result = Table(f"{probe.name}_pjoin_{dim.name}", columns)
+    stats.rows_emitted += result.num_rows
+    return result
+
+
+def _disambiguate(name: str, other: Dict[str, np.ndarray], suffix: str) -> str:
+    return f"{name}{suffix}" if name in other else name

@@ -1,0 +1,135 @@
+"""Event queue and simulation clock.
+
+Time is a float in seconds. Events scheduled at equal times fire in the
+order they were scheduled (a monotonically increasing sequence number breaks
+ties), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by (time, seq) so the heap pops them in deterministic
+    order. ``cancelled`` events stay in the heap but are skipped when popped;
+    this is cheaper than a heap removal and is how :meth:`Engine.cancel`
+    works.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Engine:
+    """A minimal deterministic discrete-event simulation engine."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._events_fired: int = 0
+        self._running: bool = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be passed to :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        event = Event(time=self._now + delay, seq=self._seq, callback=callback, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(time - self._now, callback, name=name)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (no-op if already fired)."""
+        event.cancelled = True
+
+    def step(self) -> Optional[Event]:
+        """Execute the next live event; return it, or None if queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise RuntimeError("event queue corrupted: time went backwards")
+            self._now = event.time
+            self._events_fired += 1
+            event.callback()
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time when the run stopped.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running (no reentrant run)")
+        self._running = True
+        try:
+            fired = 0
+            while self._queue:
+                nxt = self._queue[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._seq = 0
+        self._events_fired = 0

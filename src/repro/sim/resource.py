@@ -1,0 +1,97 @@
+"""FIFO resources with queueing and utilization statistics.
+
+A :class:`Resource` models a server pool (flash channel, die, CPU core...).
+Clients call :meth:`acquire` with a service time and a completion callback;
+the resource serializes jobs across its servers in FIFO order and invokes the
+callback when the job's service completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Engine
+
+
+@dataclass
+class _Job:
+    service_time: float
+    on_done: Optional[Callable[[], Any]]
+    enqueue_time: float
+
+
+class Resource:
+    """A FIFO multi-server resource tied to an :class:`Engine`."""
+
+    def __init__(self, engine: Engine, name: str, servers: int = 1) -> None:
+        if servers < 1:
+            raise ValueError("a resource needs at least one server")
+        self.engine = engine
+        self.name = name
+        self.servers = servers
+        self._busy = 0
+        self._waiting: deque[_Job] = deque()
+        # statistics
+        self.jobs_completed = 0
+        self.total_service_time = 0.0
+        self.total_wait_time = 0.0
+        self.max_queue_depth = 0
+
+    @property
+    def busy(self) -> int:
+        """Number of servers currently serving a job."""
+        return self._busy
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of jobs waiting for a free server."""
+        return len(self._waiting)
+
+    def acquire(
+        self,
+        service_time: float,
+        on_done: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        """Submit a job needing ``service_time`` seconds of a server.
+
+        ``on_done`` fires when service completes (after any queueing delay).
+        """
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        job = _Job(service_time, on_done, self.engine.now)
+        if self._busy < self.servers:
+            self._start(job)
+        else:
+            self._waiting.append(job)
+            if len(self._waiting) > self.max_queue_depth:
+                self.max_queue_depth = len(self._waiting)
+
+    def _start(self, job: _Job) -> None:
+        self._busy += 1
+        wait = self.engine.now - job.enqueue_time
+        self.total_wait_time += wait
+        self.engine.schedule(job.service_time, lambda: self._finish(job), name=f"{self.name}.done")
+
+    def _finish(self, job: _Job) -> None:
+        self._busy -= 1
+        self.jobs_completed += 1
+        self.total_service_time += job.service_time
+        if self._waiting:
+            self._start(self._waiting.popleft())
+        if job.on_done is not None:
+            job.on_done()
+
+    def utilization(self) -> float:
+        """Fraction of server-time spent busy since time zero."""
+        if self.engine.now <= 0:
+            return 0.0
+        return self.total_service_time / (self.engine.now * self.servers)
+
+    def mean_wait(self) -> float:
+        """Mean queueing delay over completed+started jobs."""
+        started = self.jobs_completed + self._busy
+        if started == 0:
+            return 0.0
+        return self.total_wait_time / started

@@ -1,0 +1,120 @@
+"""Lightweight statistics primitives shared by all simulators."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use two counters for deltas")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram tracking count/mean/min/max/variance.
+
+    Uses Welford's online algorithm so memory stays constant regardless of
+    sample count; optional sample retention supports percentile queries in
+    tests.
+    """
+
+    def __init__(self, name: str, keep_samples: bool = False) -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: Optional[List[float]] = [] if keep_samples else None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self._samples is not None:
+            self._samples.append(value)
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        return self._mean * self.count
+
+    def percentile(self, pct: float) -> float:
+        """Return an exact percentile; requires ``keep_samples=True``."""
+        if self._samples is None:
+            raise RuntimeError("histogram was created without keep_samples")
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("percentile must lie in [0, 100]")
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+
+class StatRegistry:
+    """A flat namespace of counters and histograms for one simulated component."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str, keep_samples: bool = False) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, keep_samples=keep_samples)
+        return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten all stats into a name→value dict (hist → mean)."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, hist in self._histograms.items():
+            out[f"{name}.count"] = float(hist.count)
+            out[f"{name}.mean"] = hist.mean
+        return out
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        self._histograms.clear()

@@ -1,0 +1,42 @@
+"""In-storage workloads (Table 4 of the paper).
+
+Synthetic database operators (Arithmetic, Aggregate, Filter), five TPC-H
+queries (1, 3, 12, 14, 19), the TPC-B and TPC-C transaction mixes, and
+Wordcount. Every workload genuinely executes over generated data and
+reports a :class:`~repro.workloads.base.WorkloadProfile` with exact work
+counters and a sampled DRAM access trace.
+"""
+
+from repro.workloads.base import (
+    ALL_WORKLOADS,
+    READ_INTENSIVE,
+    WRITE_INTENSIVE,
+    Workload,
+    WorkloadProfile,
+    workload_by_name,
+)
+from repro.workloads.synthetic import Aggregate, Arithmetic, Filter
+from repro.workloads.wordcount import Wordcount
+from repro.workloads.tpcb import TpcB
+from repro.workloads.tpcc import TpcC
+from repro.workloads.tpch.queries import TpchQ1, TpchQ3, TpchQ12, TpchQ14, TpchQ19
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "READ_INTENSIVE",
+    "WRITE_INTENSIVE",
+    "Workload",
+    "WorkloadProfile",
+    "workload_by_name",
+    "Arithmetic",
+    "Aggregate",
+    "Filter",
+    "Wordcount",
+    "TpcB",
+    "TpcC",
+    "TpchQ1",
+    "TpchQ3",
+    "TpchQ12",
+    "TpchQ14",
+    "TpchQ19",
+]

@@ -1,0 +1,90 @@
+"""TPC-C: online transaction processing in a warehouse center (Table 4).
+
+A simplified New-Order / Payment mix over warehouse, district, customer,
+stock, and order-line arrays. New-Order inserts ~10 order lines and updates
+stock levels, which makes TPC-C the more write-heavy of the two
+transactional workloads (Table 1: 9.05e-2 vs TPC-B's 5.19e-2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.trace import LINE_BYTES, TraceRecorder
+from repro.workloads.base import Workload, WorkloadProfile, register
+
+WAREHOUSES = 8
+DISTRICTS_PER_WH = 10
+CUSTOMERS_PER_DISTRICT = 3_000
+ITEMS = 100_000
+STOCK_ROW_BYTES = 320
+ORDER_LINES_PER_ORDER = 10
+NEW_ORDER_FRACTION = 0.45
+INSTR_NEW_ORDER = 2_200
+INSTR_PAYMENT = 600
+
+READ_LINES_NEW_ORDER = 110  # item+stock+customer lookups
+WRITE_LINES_NEW_ORDER = 13  # order, new-order, 10 order lines, district
+READ_LINES_PAYMENT = 48
+WRITE_LINES_PAYMENT = 4  # warehouse, district, customer, history
+
+
+@register
+class TpcC(Workload):
+    name = "tpcc"
+    description = "Online transaction queries in a warehouse center"
+
+    @staticmethod
+    def default_rows() -> int:
+        return 10_000  # transactions
+
+    def run(self) -> WorkloadProfile:
+        rng = np.random.default_rng(self.seed)
+        stock = np.full(WAREHOUSES * ITEMS, 100, dtype=np.int32)
+        district_next_oid = np.zeros(WAREHOUSES * DISTRICTS_PER_WH, dtype=np.int64)
+        customer_balance = np.zeros(
+            WAREHOUSES * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT, dtype=np.int64
+        )
+
+        txns = self.scale_rows
+        is_new_order = rng.random(txns) < NEW_ORDER_FRACTION
+        n_new_order = int(is_new_order.sum())
+        n_payment = txns - n_new_order
+
+        # New-Order: decrement stock for ~10 random items each, bump district
+        items = rng.integers(0, len(stock), size=n_new_order * ORDER_LINES_PER_ORDER)
+        quantities = rng.integers(1, 10, size=len(items))
+        np.subtract.at(stock, items, quantities)
+        stock[stock < 10] += 91  # restock rule from the spec
+        districts = rng.integers(0, len(district_next_oid), size=n_new_order)
+        np.add.at(district_next_oid, districts, 1)
+
+        # Payment: adjust customer balances
+        customers = rng.integers(0, len(customer_balance), size=n_payment)
+        amounts = rng.integers(1, 5_000, size=n_payment)
+        np.subtract.at(customer_balance, customers, amounts)
+
+        recorder = TraceRecorder(seed=self.seed, sample_every=32)
+        stock_bytes = len(stock) * STOCK_ROW_BYTES
+        read_lines = (
+            n_new_order * READ_LINES_NEW_ORDER + n_payment * READ_LINES_PAYMENT
+        )
+        write_lines = (
+            n_new_order * WRITE_LINES_NEW_ORDER + n_payment * WRITE_LINES_PAYMENT
+        )
+        recorder.read_input(read_lines * LINE_BYTES)
+        recorder.write_workset(stock_bytes, write_lines)
+        result_bytes = 64
+        recorder.write_output(result_bytes)
+
+        input_bytes = read_lines * LINE_BYTES
+        instructions = n_new_order * INSTR_NEW_ORDER + n_payment * INSTR_PAYMENT
+        return WorkloadProfile(
+            name=self.name,
+            rows=txns,
+            input_bytes=input_bytes,
+            result_bytes=result_bytes,
+            instructions=instructions,
+            trace=recorder.finish(),
+            answer=(int(district_next_oid.sum()), int(customer_balance.sum())),
+        )

@@ -1,0 +1,14 @@
+"""Scaled-down TPC-H: data generation and the five queries of Table 4."""
+
+from repro.workloads.tpch.datagen import TpchData, generate
+from repro.workloads.tpch.queries import TpchQ1, TpchQ3, TpchQ12, TpchQ14, TpchQ19
+
+__all__ = [
+    "TpchData",
+    "generate",
+    "TpchQ1",
+    "TpchQ3",
+    "TpchQ12",
+    "TpchQ14",
+    "TpchQ19",
+]

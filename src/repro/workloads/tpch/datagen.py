@@ -1,0 +1,132 @@
+"""TPC-H data generator (scaled down, numpy columnar).
+
+Follows the dbgen value distributions closely enough for the five queries
+the paper runs: date ranges over 1992-1998, uniform quantities/discounts,
+categorical flags encoded as small integers. Row ratios match the spec:
+lineitem ≈ 4 x orders, customer = orders / 10, part = lineitem / 7.5 (we
+keep part ≥ 1/5 of lineitem for join selectivity).
+
+Dates are integer day offsets from 1992-01-01 (day 0); 1998-12-01 is day
+~2526. String-typed spec columns (shipmode, brand, container…) are integer
+codes, with named constants in this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.table import Table
+
+# day offsets from 1992-01-01
+DAY_1995_01_01 = 1096
+DAY_1995_03_15 = 1169
+DAY_1994_01_01 = 731
+DAY_1995_09_01 = 1339
+DAY_1995_10_01 = 1369
+DAY_1998_12_01 = 2526
+DAYS_TOTAL = 2557  # 7 years
+
+# categorical encodings
+RETURNFLAG_R, RETURNFLAG_A, RETURNFLAG_N = 0, 1, 2
+LINESTATUS_O, LINESTATUS_F = 0, 1
+SHIPMODE_MAIL, SHIPMODE_SHIP, SHIPMODE_AIR, SHIPMODE_AIR_REG, SHIPMODE_TRUCK = range(5)
+SHIPMODES = 5
+SEGMENT_BUILDING = 0
+SEGMENTS = 5
+PROMO_TYPE_BASE = 0  # part types [0, 25); types < 5 are "PROMO%"
+PART_TYPES = 25
+BRANDS = 25
+CONTAINERS = 8
+SHIPINSTRUCT_DELIVER_IN_PERSON = 0
+SHIPINSTRUCTS = 4
+
+
+@dataclass
+class TpchData:
+    lineitem: Table
+    orders: Table
+    customer: Table
+    part: Table
+
+    def total_bytes(self) -> int:
+        return (
+            self.lineitem.total_bytes()
+            + self.orders.total_bytes()
+            + self.customer.total_bytes()
+            + self.part.total_bytes()
+        )
+
+
+def generate(lineitem_rows: int = 60_000, seed: int = 7) -> TpchData:
+    """Generate the four tables the paper's queries touch."""
+    if lineitem_rows < 100:
+        raise ValueError("need at least 100 lineitem rows")
+    rng = np.random.default_rng(seed)
+    n_orders = max(1, lineitem_rows // 4)
+    n_customers = max(1, n_orders // 10)
+    n_parts = max(1, lineitem_rows // 5)
+
+    orderkeys = np.arange(n_orders, dtype=np.int64)
+    orderdates = rng.integers(0, DAYS_TOTAL - 200, size=n_orders)
+    orders = Table(
+        "orders",
+        {
+            "orderkey": orderkeys,
+            "custkey": rng.integers(0, n_customers, size=n_orders, dtype=np.int64),
+            "orderdate": orderdates.astype(np.int32),
+            "orderpriority": rng.integers(0, 5, size=n_orders, dtype=np.int8),
+            "shippriority": np.zeros(n_orders, dtype=np.int8),
+            "totalprice": rng.uniform(1_000, 400_000, size=n_orders).astype(np.float32),
+        },
+    )
+
+    li_order = rng.integers(0, n_orders, size=lineitem_rows, dtype=np.int64)
+    li_orderdate = orderdates[li_order]
+    shipdate = li_orderdate + rng.integers(1, 121, size=lineitem_rows)
+    commitdate = li_orderdate + rng.integers(30, 91, size=lineitem_rows)
+    receiptdate = shipdate + rng.integers(1, 31, size=lineitem_rows)
+    quantity = rng.integers(1, 51, size=lineitem_rows).astype(np.float32)
+    extendedprice = (quantity * rng.uniform(900, 2_000, size=lineitem_rows)).astype(
+        np.float32
+    )
+    lineitem = Table(
+        "lineitem",
+        {
+            "orderkey": li_order,
+            "partkey": rng.integers(0, n_parts, size=lineitem_rows, dtype=np.int64),
+            "quantity": quantity,
+            "extendedprice": extendedprice,
+            "discount": rng.integers(0, 11, size=lineitem_rows).astype(np.float32) / 100.0,
+            "tax": rng.integers(0, 9, size=lineitem_rows).astype(np.float32) / 100.0,
+            "returnflag": rng.integers(0, 3, size=lineitem_rows, dtype=np.int8),
+            "linestatus": (shipdate > DAY_1995_01_01).astype(np.int8),
+            "shipdate": shipdate.astype(np.int32),
+            "commitdate": commitdate.astype(np.int32),
+            "receiptdate": receiptdate.astype(np.int32),
+            "shipmode": rng.integers(0, SHIPMODES, size=lineitem_rows, dtype=np.int8),
+            "shipinstruct": rng.integers(0, SHIPINSTRUCTS, size=lineitem_rows, dtype=np.int8),
+        },
+    )
+
+    customer = Table(
+        "customer",
+        {
+            "custkey": np.arange(n_customers, dtype=np.int64),
+            "mktsegment": rng.integers(0, SEGMENTS, size=n_customers, dtype=np.int8),
+        },
+    )
+
+    part = Table(
+        "part",
+        {
+            "partkey": np.arange(n_parts, dtype=np.int64),
+            "brand": rng.integers(0, BRANDS, size=n_parts, dtype=np.int8),
+            "container": rng.integers(0, CONTAINERS, size=n_parts, dtype=np.int8),
+            "size": rng.integers(1, 51, size=n_parts, dtype=np.int32),
+            "type": rng.integers(0, PART_TYPES, size=n_parts, dtype=np.int8),
+        },
+    )
+
+    return TpchData(lineitem=lineitem, orders=orders, customer=customer, part=part)

@@ -1,0 +1,256 @@
+"""The five TPC-H queries of Table 4, built on the query operators.
+
+Each query genuinely computes its answer over generated data and reports
+the work profile. Plans pipeline filters into joins/aggregations, matching
+the Table 1 observation that these queries barely write memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.operators import OpStats, aggregate, filter_rows, hash_join, positional_join, sort_limit
+from repro.query.table import Table
+from repro.query.trace import TraceRecorder
+from repro.workloads.base import Workload, WorkloadProfile, register
+from repro.workloads.tpch import datagen
+from repro.workloads.tpch.datagen import TpchData, generate
+
+RESULT_ROW_BYTES = 48
+
+
+class TpchQuery(Workload):
+    """Shared scaffolding: generate data, run the plan, package the profile."""
+
+    name = "tpch-base"
+
+    @staticmethod
+    def default_rows() -> int:
+        return 60_000  # lineitem rows
+
+    def plan(self, data: TpchData, stats: OpStats, recorder: TraceRecorder) -> Table:
+        raise NotImplementedError
+
+    def input_tables(self, data: TpchData):
+        """Tables this query streams from flash (affects input_bytes)."""
+        return [data.lineitem]
+
+    def run(self) -> WorkloadProfile:
+        data = generate(self.scale_rows, seed=self.seed)
+        stats = OpStats()
+        recorder = TraceRecorder(seed=self.seed)
+        result = self.plan(data, stats, recorder)
+        result_bytes = max(64, result.num_rows * RESULT_ROW_BYTES)
+        recorder.write_output(result_bytes)
+        input_bytes = sum(t.total_bytes() for t in self.input_tables(data))
+        return WorkloadProfile(
+            name=self.name,
+            rows=data.lineitem.num_rows,
+            input_bytes=input_bytes,
+            result_bytes=result_bytes,
+            instructions=stats.instructions,
+            trace=recorder.finish(),
+            answer=result,
+        )
+
+
+@register
+class TpchQ1(TpchQuery):
+    """Q1: pricing summary report — scan + filter + group-by aggregate."""
+
+    name = "tpch-q1"
+    description = "Query pricing summary involving scan"
+
+    def plan(self, data: TpchData, stats: OpStats, recorder: TraceRecorder) -> Table:
+        cutoff = datagen.DAY_1998_12_01 - 90
+        li = filter_rows(
+            data.lineitem, lambda t: t.column("shipdate") <= cutoff, stats, recorder
+        )
+        # group by (returnflag, linestatus): 6 groups max
+        group = Table(
+            "q1_input",
+            {
+                "grp": (li.column("returnflag") * 2 + li.column("linestatus")).astype(np.int8),
+                "quantity": li.column("quantity"),
+                "extendedprice": li.column("extendedprice"),
+                "disc_price": li.column("extendedprice") * (1 - li.column("discount")),
+                "charge": li.column("extendedprice")
+                * (1 - li.column("discount"))
+                * (1 + li.column("tax")),
+            },
+        )
+        stats.instructions += 6 * li.num_rows  # the derived-column arithmetic
+        return aggregate(
+            group,
+            group_by="grp",
+            aggregations={
+                "quantity": np.sum,
+                "extendedprice": np.sum,
+                "disc_price": np.sum,
+                "charge": np.sum,
+            },
+            stats=stats,
+            recorder=recorder,
+        )
+
+
+@register
+class TpchQ3(TpchQuery):
+    """Q3: shipping priority — two joins, then revenue per order."""
+
+    name = "tpch-q3"
+    description = "Query shipping priority involving join"
+
+    def input_tables(self, data: TpchData):
+        return [data.lineitem, data.orders, data.customer]
+
+    def plan(self, data: TpchData, stats: OpStats, recorder: TraceRecorder) -> Table:
+        cutoff = datagen.DAY_1995_03_15
+        building = filter_rows(
+            data.customer,
+            lambda t: t.column("mktsegment") == datagen.SEGMENT_BUILDING,
+            stats,
+            recorder,
+        )
+        open_orders = filter_rows(
+            data.orders, lambda t: t.column("orderdate") < cutoff, stats, recorder
+        )
+        late_items = filter_rows(
+            data.lineitem, lambda t: t.column("shipdate") > cutoff, stats, recorder
+        )
+        cust_orders = hash_join(
+            building, open_orders, "custkey", "custkey", stats, recorder
+        )
+        joined = hash_join(
+            cust_orders, late_items, "orderkey", "orderkey", stats, recorder
+        )
+        revenue_in = Table(
+            "q3_input",
+            {
+                "orderkey": joined.column("orderkey"),
+                "revenue": joined.column("extendedprice") * (1 - joined.column("discount")),
+            },
+        )
+        stats.instructions += 3 * joined.num_rows
+        per_order = aggregate(
+            revenue_in,
+            group_by="orderkey",
+            aggregations={"revenue": np.sum},
+            stats=stats,
+            recorder=recorder,
+        )
+        # the spec's ORDER BY revenue DESC LIMIT 10
+        return sort_limit(per_order, "revenue_sum", stats, recorder,
+                          descending=True, limit=10)
+
+
+@register
+class TpchQ12(TpchQuery):
+    """Q12: shipping modes and order priority — join + conditional counts."""
+
+    name = "tpch-q12"
+    description = "Query shipping modes and order priority with join"
+
+    def input_tables(self, data: TpchData):
+        return [data.lineitem, data.orders]
+
+    def plan(self, data: TpchData, stats: OpStats, recorder: TraceRecorder) -> Table:
+        year_start = datagen.DAY_1994_01_01
+        year_end = year_start + 365
+
+        def predicate(t: Table) -> np.ndarray:
+            return (
+                np.isin(t.column("shipmode"), [datagen.SHIPMODE_MAIL, datagen.SHIPMODE_SHIP])
+                & (t.column("commitdate") < t.column("receiptdate"))
+                & (t.column("shipdate") < t.column("commitdate"))
+                & (t.column("receiptdate") >= year_start)
+                & (t.column("receiptdate") < year_end)
+            )
+
+        items = filter_rows(data.lineitem, predicate, stats, recorder)
+        joined = positional_join(items, data.orders, "orderkey", "orderkey", stats, recorder)
+        high = np.isin(joined.column("orderpriority"), [0, 1]).astype(np.int64)
+        counts_in = Table(
+            "q12_input",
+            {
+                "shipmode": joined.column("shipmode"),
+                "high_line_count": high,
+                "low_line_count": 1 - high,
+            },
+        )
+        stats.instructions += 4 * joined.num_rows
+        return aggregate(
+            counts_in,
+            group_by="shipmode",
+            aggregations={"high_line_count": np.sum, "low_line_count": np.sum},
+            stats=stats,
+            recorder=recorder,
+        )
+
+
+@register
+class TpchQ14(TpchQuery):
+    """Q14: promotion effect — join lineitem with part over one month."""
+
+    name = "tpch-q14"
+    description = "Query market response to promotion with join"
+
+    def input_tables(self, data: TpchData):
+        return [data.lineitem, data.part]
+
+    def plan(self, data: TpchData, stats: OpStats, recorder: TraceRecorder) -> Table:
+        month_start = datagen.DAY_1995_09_01
+        items = filter_rows(
+            data.lineitem,
+            lambda t: (t.column("shipdate") >= month_start)
+            & (t.column("shipdate") < month_start + 30),
+            stats,
+            recorder,
+        )
+        joined = positional_join(items, data.part, "partkey", "partkey", stats, recorder)
+        revenue = joined.column("extendedprice") * (1 - joined.column("discount"))
+        promo = np.where(joined.column("type") < 5, revenue, 0.0)
+        stats.instructions += 5 * joined.num_rows
+        total = float(revenue.sum())
+        ratio = 100.0 * float(promo.sum()) / total if total else 0.0
+        return Table("q14_result", {"promo_revenue": np.array([ratio])})
+
+
+@register
+class TpchQ19(TpchQuery):
+    """Q19: discounted revenue — join + disjunctive brand/container/qty terms."""
+
+    name = "tpch-q19"
+    description = "Query discounted revenue with join and aggregate"
+
+    def input_tables(self, data: TpchData):
+        return [data.lineitem, data.part]
+
+    def plan(self, data: TpchData, stats: OpStats, recorder: TraceRecorder) -> Table:
+        items = filter_rows(
+            data.lineitem,
+            lambda t: (
+                np.isin(t.column("shipmode"), [datagen.SHIPMODE_AIR, datagen.SHIPMODE_AIR_REG])
+                & (t.column("shipinstruct") == datagen.SHIPINSTRUCT_DELIVER_IN_PERSON)
+                & (t.column("quantity") >= 1)
+                & (t.column("quantity") <= 30)
+            ),
+            stats,
+            recorder,
+        )
+        # part is a dense-key dimension: gather its attributes positionally
+        # and evaluate the disjunction on the joined stream (no hash table,
+        # so the query stays write-free as Table 1 shows)
+        joined = positional_join(items, data.part, "partkey", "partkey", stats, recorder)
+        qty = joined.column("quantity")
+        size = joined.column("size")
+        brand = joined.column("brand")
+        container = joined.column("container")
+        clause1 = (brand == 12) & (container < 2) & (qty >= 1) & (qty <= 11) & (size <= 5)
+        clause2 = (brand == 23) & (container == 2) & (qty >= 10) & (qty <= 20) & (size <= 10)
+        clause3 = (brand == 34) & (container >= 3) & (qty >= 20) & (qty <= 30) & (size <= 15)
+        mask = clause1 | clause2 | clause3
+        revenue = joined.column("extendedprice") * (1 - joined.column("discount"))
+        stats.instructions += 16 * joined.num_rows  # the disjunctive predicate
+        total = float(revenue[mask].sum())
+        return Table("q19_result", {"revenue": np.array([total])})

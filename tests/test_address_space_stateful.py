@@ -1,0 +1,74 @@
+"""Stateful property test: AddressSpace allocation/isolation invariants."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import AccessType, AddressSpace, MemoryRegion, MMUFault, World
+
+DRAM = 1 << 20
+SECURE = 1 << 16
+PROTECTED = 1 << 16
+
+
+class AddressSpaceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.space = AddressSpace(DRAM, SECURE, PROTECTED)
+        self.live = {}  # range -> owner
+
+    @rule(nbytes=st.integers(min_value=64, max_value=1 << 14),
+          owner=st.integers(min_value=1, max_value=15))
+    def allocate(self, nbytes, owner):
+        if self.space.free_bytes() < nbytes:
+            return
+        rng = self.space.allocate(nbytes, owner=owner)
+        self.live[rng] = owner
+
+    @rule()
+    def free_last(self):
+        # tail frees reclaim space; AddressSpace is a bump allocator
+        if not self.live:
+            return
+        rng = max(self.live, key=lambda r: r.end)
+        self.space.free(rng)
+        del self.live[rng]
+
+    @invariant()
+    def allocations_are_in_normal_region(self):
+        for rng in self.live:
+            assert self.space.region_of(rng.start) is MemoryRegion.NORMAL
+            assert self.space.region_of(rng.end - 1) is MemoryRegion.NORMAL
+
+    @invariant()
+    def allocations_never_overlap(self):
+        spans = sorted((r.start, r.end) for r in self.live)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @invariant()
+    def owners_are_isolated(self):
+        for rng, owner in self.live.items():
+            # the owner can read its own memory
+            self.space.check(rng.start, World.NORMAL, AccessType.READ, tee_id=owner)
+            # any other TEE id faults
+            other = 1 if owner != 1 else 2
+            try:
+                self.space.check(rng.start, World.NORMAL, AccessType.READ, tee_id=other)
+                assert False, "cross-TEE access did not fault"
+            except MMUFault:
+                pass
+
+    @invariant()
+    def secure_region_is_sealed(self):
+        try:
+            self.space.check(0, World.NORMAL, AccessType.READ, tee_id=1)
+            assert False, "secure region readable from normal world"
+        except MMUFault:
+            pass
+
+
+AddressSpaceMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestAddressSpaceStateful = AddressSpaceMachine.TestCase

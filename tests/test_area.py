@@ -1,0 +1,49 @@
+"""Tests for the CACTI-style area/energy model."""
+
+import pytest
+
+from repro.area import AreaModel, CipherEngineArea
+from repro.area.cacti import NODE_22NM, NODE_32NM, NODE_45NM
+
+
+class TestAreaModel:
+    def test_sram_area_linear(self):
+        model = AreaModel(NODE_32NM)
+        assert model.sram_area(256) == pytest.approx(2 * model.sram_area(128))
+
+    def test_newer_node_denser(self):
+        assert AreaModel(NODE_22NM).sram_area(128) < AreaModel(NODE_32NM).sram_area(128)
+        assert AreaModel(NODE_32NM).logic_area(10) < AreaModel(NODE_45NM).logic_area(10)
+
+    def test_negative_rejected(self):
+        model = AreaModel(NODE_32NM)
+        with pytest.raises(ValueError):
+            model.sram_area(-1)
+        with pytest.raises(ValueError):
+            model.logic_area(-1)
+
+    def test_energy_positive(self):
+        model = AreaModel(NODE_32NM)
+        assert model.sram_energy(100) > 0
+        assert model.logic_energy(3.2, 512) > 0
+
+
+class TestCipherEngineArea:
+    def test_paper_overhead_claim(self):
+        """§5: the cipher engine adds ~1.6% area to a P4500-class controller."""
+        overhead = CipherEngineArea().overhead_fraction()
+        assert 0.008 <= overhead <= 0.025
+
+    def test_overhead_scales_with_channels(self):
+        assert (
+            CipherEngineArea(channels=16).engine_mm2()
+            > CipherEngineArea(channels=8).engine_mm2()
+        )
+
+    def test_engine_is_small_in_absolute_terms(self):
+        assert CipherEngineArea().engine_mm2() < 2.0  # mm^2
+
+    def test_energy_per_page_reasonable(self):
+        """Ciphering a 4 KB page should cost nanojoules, not microjoules."""
+        pj = CipherEngineArea().energy_per_page_pj()
+        assert 100 <= pj <= 100_000

@@ -1,0 +1,106 @@
+"""Tests for in-storage TEE attestation."""
+
+import pytest
+
+from repro.core.attestation import (
+    AttestationDevice,
+    AttestationError,
+    AttestationVerifier,
+    Quote,
+    measure_code,
+)
+from repro.core.tee import Tee
+
+SECRET = b"vendor-provisioned-secret!"
+CODE = b"\x90" * 128
+
+
+def make_pair():
+    device = AttestationDevice(SECRET)
+    verifier = AttestationVerifier(SECRET, device.device_id)
+    return device, verifier
+
+
+def make_tee(code=CODE, eid=3):
+    return Tee(eid=eid, tid=1, code=code, lpas=[0, 1])
+
+
+class TestQuoteFlow:
+    def test_honest_quote_verifies(self):
+        device, verifier = make_pair()
+        tee = make_tee()
+        nonce = verifier.fresh_nonce(b"session-1")
+        quote = device.quote(tee, nonce)
+        verifier.verify(quote, expected_code=CODE, nonce=nonce)  # no raise
+
+    def test_wrong_binary_detected(self):
+        """A compromised SSD running different code cannot attest."""
+        device, verifier = make_pair()
+        tee = make_tee(code=b"\xcc" * 128)  # trojaned binary
+        nonce = verifier.fresh_nonce(b"s")
+        quote = device.quote(tee, nonce)
+        with pytest.raises(AttestationError, match="measurement mismatch"):
+            verifier.verify(quote, expected_code=CODE, nonce=nonce)
+
+    def test_forged_signature_detected(self):
+        device, verifier = make_pair()
+        tee = make_tee()
+        nonce = verifier.fresh_nonce(b"s")
+        quote = device.quote(tee, nonce)
+        forged = Quote(quote.device_id, quote.tee_eid, quote.measurement,
+                       quote.nonce, b"\x00" * 8)
+        with pytest.raises(AttestationError, match="signature"):
+            verifier.verify(forged, expected_code=CODE, nonce=nonce)
+
+    def test_impostor_device_detected(self):
+        """A device with a different secret cannot impersonate."""
+        _, verifier = make_pair()
+        impostor = AttestationDevice(b"some-other-device-secret")
+        tee = make_tee()
+        nonce = verifier.fresh_nonce(b"s")
+        quote = impostor.quote(tee, nonce)
+        with pytest.raises(AttestationError, match="unknown device"):
+            verifier.verify(quote, expected_code=CODE, nonce=nonce)
+
+    def test_stale_nonce_detected(self):
+        device, verifier = make_pair()
+        tee = make_tee()
+        old_nonce = verifier.fresh_nonce(b"old")
+        quote = device.quote(tee, old_nonce)
+        fresh = verifier.fresh_nonce(b"new")
+        with pytest.raises(AttestationError, match="different challenge"):
+            verifier.verify(quote, expected_code=CODE, nonce=fresh)
+
+    def test_quote_replay_detected(self):
+        device, verifier = make_pair()
+        tee = make_tee()
+        nonce = verifier.fresh_nonce(b"s")
+        quote = device.quote(tee, nonce)
+        verifier.verify(quote, expected_code=CODE, nonce=nonce)
+        with pytest.raises(AttestationError, match="replay"):
+            verifier.verify(quote, expected_code=CODE, nonce=nonce)
+
+    def test_measurement_matches_tee_construction(self):
+        tee = make_tee()
+        assert tee.measurement == measure_code(CODE)
+
+    def test_tampered_field_breaks_signature(self):
+        device, verifier = make_pair()
+        tee = make_tee(eid=3)
+        nonce = verifier.fresh_nonce(b"s")
+        quote = device.quote(tee, nonce)
+        tampered = Quote(quote.device_id, 4, quote.measurement, quote.nonce,
+                         quote.signature)
+        with pytest.raises(AttestationError, match="signature"):
+            verifier.verify(tampered, expected_code=CODE, nonce=nonce)
+
+
+class TestValidation:
+    def test_weak_secret_rejected(self):
+        with pytest.raises(ValueError):
+            AttestationDevice(b"short")
+
+    def test_weak_nonce_rejected(self):
+        device, _ = make_pair()
+        with pytest.raises(ValueError):
+            device.quote(make_tee(), b"tiny")

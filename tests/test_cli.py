@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tpch-q1" in out and "wordcount" in out
+        assert "iceclave" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "1.00 TB" in out
+        assert "channels" in out
+
+    def test_info_respects_flags(self, capsys):
+        assert main(["info", "--channels", "16"]) == 0
+        out = capsys.readouterr().out
+        assert ": 16" in out
+
+    def test_run_default_scheme(self, capsys):
+        assert main(["run", "filter", "--dataset-gb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "filter on iceclave" in out
+        assert "security" in out
+
+    def test_run_verbose_stats(self, capsys):
+        assert main(["run", "filter", "--dataset-gb", "1", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "translation_miss_rate" in out
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "sorting"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", "aggregate", "--dataset-gb", "2"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("host", "host+sgx", "isc", "iceclave"):
+            assert scheme in out
+        assert "security overhead" in out
+
+    def test_sweep_channels(self, capsys):
+        assert main(["sweep", "channels", "filter", "--dataset-gb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4ch" in out and "32ch" in out
+
+    def test_sweep_dram(self, capsys):
+        assert main(["sweep", "dram", "tpcc", "--dataset-gb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "2GB" in out and "8GB" in out
+
+    def test_sweep_latency(self, capsys):
+        assert main(["sweep", "latency", "aggregate", "--dataset-gb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "10us" in out and "110us" in out
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "filter", "--scheme", "gpu"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

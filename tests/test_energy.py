@@ -1,0 +1,71 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.platform import PlatformConfig, make_platform
+from repro.platform.energy import EnergyModel
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = PlatformConfig()
+    profile = workload_by_name("tpch-q1").run()
+    results = {
+        s: make_platform(s, config).run(profile)
+        for s in ("host", "host+sgx", "isc", "iceclave")
+    }
+    return config, profile, results
+
+
+class TestEnergyModel:
+    def test_components_positive(self, setup):
+        config, profile, results = setup
+        model = EnergyModel(config)
+        for result in results.values():
+            parts = model.estimate(profile, result)
+            assert all(v >= 0 for v in parts.values())
+            assert model.total(profile, result) > 0
+
+    def test_isc_saves_link_energy(self, setup):
+        """ISC only ships results over PCIe, not 32 GB of data."""
+        config, profile, results = setup
+        model = EnergyModel(config)
+        host = model.estimate(profile, results["host"])
+        isc = model.estimate(profile, results["isc"])
+        assert isc["pcie"] < host["pcie"] / 100
+
+    def test_isc_total_below_host(self, setup):
+        """Moving compute to the A72s beats burning i7 cores + the link."""
+        config, profile, results = setup
+        model = EnergyModel(config)
+        assert model.total(profile, results["isc"]) < model.total(profile, results["host"])
+
+    def test_sgx_costs_more_than_host(self, setup):
+        config, profile, results = setup
+        model = EnergyModel(config)
+        assert model.total(profile, results["host+sgx"]) > model.total(
+            profile, results["host"]
+        )
+
+    def test_iceclave_security_energy_is_small(self, setup):
+        """The paper: cipher engine adds minimal energy overhead."""
+        config, profile, results = setup
+        model = EnergyModel(config)
+        parts = model.estimate(profile, results["iceclave"])
+        assert "cipher" in parts and "mee" in parts
+        total = model.total(profile, results["iceclave"])
+        assert (parts["cipher"] + parts["mee"]) / total < 0.10
+        assert model.cipher_overhead_fraction(profile, results["iceclave"]) < 0.05
+
+    def test_iceclave_close_to_isc(self, setup):
+        config, profile, results = setup
+        model = EnergyModel(config)
+        isc = model.total(profile, results["isc"])
+        ice = model.total(profile, results["iceclave"])
+        assert isc <= ice <= isc * 1.25
+
+    def test_host_schemes_have_no_cipher_component(self, setup):
+        config, profile, results = setup
+        model = EnergyModel(config)
+        assert "cipher" not in model.estimate(profile, results["host"])

@@ -1,0 +1,282 @@
+"""Tests for flash geometry, chip state machine, ECC, and device timing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flash import (
+    EccModel,
+    FlashChip,
+    FlashDevice,
+    FlashGeometry,
+    FlashTiming,
+    PageState,
+    PhysicalAddress,
+)
+from repro.flash.chip import FlashProgramError
+from repro.flash.ecc import EccConfig, EccUncorrectableError
+from repro.flash.geometry import small_geometry
+from repro.sim import Engine
+
+
+class TestGeometry:
+    def test_paper_configuration_is_one_terabyte(self):
+        """Table 3: 8ch x 4chips x 4dies x 2planes x 2048blk x 512pg x 4KB = 1 TB."""
+        geo = FlashGeometry()
+        assert geo.capacity_bytes == 1 << 40
+
+    def test_total_counts(self):
+        geo = FlashGeometry()
+        assert geo.total_dies == 8 * 4 * 4
+        assert geo.total_planes == geo.total_dies * 2
+        assert geo.total_blocks == geo.total_planes * 2048
+
+    def test_decompose_compose_roundtrip_examples(self):
+        geo = small_geometry()
+        for ppa in (0, 1, 17, geo.total_pages - 1):
+            assert geo.compose(geo.decompose(ppa)) == ppa
+
+    @given(st.integers(min_value=0))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, raw):
+        geo = small_geometry()
+        ppa = raw % geo.total_pages
+        assert geo.compose(geo.decompose(ppa)) == ppa
+
+    def test_consecutive_ppas_stripe_channels(self):
+        geo = small_geometry(channels=8)
+        channels = [geo.decompose(ppa).channel for ppa in range(8)]
+        assert channels == list(range(8))
+
+    def test_out_of_range_ppa_rejected(self):
+        geo = small_geometry()
+        with pytest.raises(ValueError):
+            geo.decompose(geo.total_pages)
+        with pytest.raises(ValueError):
+            geo.decompose(-1)
+
+    def test_compose_validates_coordinates(self):
+        geo = small_geometry()
+        with pytest.raises(ValueError):
+            geo.compose(PhysicalAddress(geo.channels, 0, 0, 0, 0, 0))
+
+    def test_block_of_consistent_with_pages_of_block(self):
+        geo = small_geometry()
+        chip = FlashChip(geo)
+        for block in (0, 3, geo.total_blocks - 1):
+            for ppa in chip.pages_of_block(block):
+                assert geo.block_of(ppa) == block
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            FlashGeometry(channels=0)
+
+
+class TestChip:
+    def make(self, store=False):
+        geo = small_geometry(channels=2, chips_per_channel=1, dies_per_chip=1,
+                             blocks_per_plane=4, pages_per_block=4)
+        return geo, FlashChip(geo, store_data=store)
+
+    def test_pages_start_free(self):
+        _, chip = self.make()
+        assert chip.page_state(0) is PageState.FREE
+
+    def test_program_marks_valid(self):
+        _, chip = self.make()
+        block0_pages = chip.pages_of_block(0)
+        chip.program(block0_pages[0])
+        assert chip.page_state(block0_pages[0]) is PageState.VALID
+
+    def test_cannot_reprogram_valid_page(self):
+        _, chip = self.make()
+        ppa = chip.pages_of_block(0)[0]
+        chip.program(ppa)
+        with pytest.raises(FlashProgramError):
+            chip.program(ppa)
+
+    def test_sequential_program_enforced(self):
+        _, chip = self.make()
+        pages = chip.pages_of_block(0)
+        with pytest.raises(FlashProgramError):
+            chip.program(pages[2])  # skipping pages 0 and 1
+
+    def test_erase_frees_pages_and_ages_block(self):
+        _, chip = self.make()
+        pages = chip.pages_of_block(0)
+        chip.program(pages[0])
+        chip.erase(0)
+        assert chip.page_state(pages[0]) is PageState.FREE
+        assert chip.wear_of(0) == 1
+        chip.program(pages[0])  # reprogram after erase is legal
+
+    def test_invalidate_then_read_fails(self):
+        _, chip = self.make()
+        ppa = chip.pages_of_block(0)[0]
+        chip.program(ppa)
+        chip.invalidate(ppa)
+        with pytest.raises(FlashProgramError):
+            chip.read(ppa)
+
+    def test_functional_store_roundtrip(self):
+        _, chip = self.make(store=True)
+        ppa = chip.pages_of_block(1)[0]
+        chip.program(ppa, b"hello flash")
+        assert chip.read(ppa) == b"hello flash"
+
+    def test_functional_store_requires_data(self):
+        _, chip = self.make(store=True)
+        with pytest.raises(ValueError):
+            chip.program(chip.pages_of_block(0)[0], None)
+
+    def test_oversized_page_rejected(self):
+        geo, chip = self.make(store=True)
+        with pytest.raises(ValueError):
+            chip.program(chip.pages_of_block(0)[0], b"x" * (geo.page_bytes + 1))
+
+    def test_valid_page_count(self):
+        _, chip = self.make()
+        pages = chip.pages_of_block(0)
+        chip.program(pages[0])
+        chip.program(pages[1])
+        chip.invalidate(pages[0])
+        assert chip.valid_pages_in_block(0) == 1
+
+
+class TestEcc:
+    def test_rber_grows_with_wear(self):
+        ecc = EccModel()
+        assert ecc.rber(1000) > ecc.rber(0)
+
+    def test_fresh_block_reads_clean(self):
+        ecc = EccModel()
+        for _ in range(50):
+            assert ecc.check_read(wear=0) <= ecc.config.correctable_bits
+
+    def test_extreme_wear_uncorrectable(self):
+        ecc = EccModel(EccConfig(correctable_bits=4, base_rber=1e-5, wear_scale=100.0))
+        with pytest.raises(EccUncorrectableError):
+            for _ in range(100):
+                ecc.check_read(wear=2000)
+
+    def test_wear_limit_is_consistent(self):
+        ecc = EccModel()
+        limit = ecc.wear_limit()
+        assert ecc.expected_errors(limit) == pytest.approx(
+            ecc.config.correctable_bits, rel=0.05
+        )
+
+    def test_deterministic_given_seed(self):
+        a = EccModel(seed=5)
+        b = EccModel(seed=5)
+        assert [a.sample_errors(5000) for _ in range(10)] == [
+            b.sample_errors(5000) for _ in range(10)
+        ]
+
+
+class TestDeviceTiming:
+    def make(self, channels=2, **kw):
+        engine = Engine()
+        geo = small_geometry(channels=channels, chips_per_channel=1, dies_per_chip=1,
+                             planes_per_die=1, blocks_per_plane=8, pages_per_block=8)
+        dev = FlashDevice(engine, geo, FlashTiming(**kw))
+        return engine, geo, dev
+
+    def test_single_read_latency(self):
+        engine, geo, dev = self.make()
+        done = []
+        dev.read(0, on_done=lambda: done.append(engine.now))
+        engine.run()
+        expected = dev.timing.read_latency + dev.timing.transfer_time(geo.page_bytes)
+        assert done == [pytest.approx(expected)]
+
+    def test_reads_on_different_channels_overlap(self):
+        engine, geo, dev = self.make(channels=2)
+        done = []
+        dev.read(0, on_done=lambda: done.append(engine.now))  # channel 0
+        dev.read(1, on_done=lambda: done.append(engine.now))  # channel 1
+        engine.run()
+        expected = dev.timing.read_latency + dev.timing.transfer_time(geo.page_bytes)
+        assert done[0] == pytest.approx(expected)
+        assert done[1] == pytest.approx(expected)
+
+    def test_reads_on_same_die_serialize(self):
+        engine, geo, dev = self.make(channels=1)
+        done = []
+        # two pages on the same (only) die
+        dev.read(0, on_done=lambda: done.append(engine.now))
+        dev.read(1, on_done=lambda: done.append(engine.now))
+        engine.run()
+        t_rd = dev.timing.read_latency
+        xfer = dev.timing.transfer_time(geo.page_bytes)
+        assert done[0] == pytest.approx(t_rd + xfer)
+        # second read senses only after the first releases the die
+        assert done[1] == pytest.approx(2 * t_rd + xfer)
+
+    def test_write_timing(self):
+        engine, geo, dev = self.make()
+        done = []
+        dev.write(0, on_done=lambda: done.append(engine.now))
+        engine.run()
+        expected = dev.timing.transfer_time(geo.page_bytes) + dev.timing.program_latency
+        assert done == [pytest.approx(expected)]
+
+    def test_erase_timing(self):
+        engine, _, dev = self.make()
+        done = []
+        dev.erase(0, on_done=lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(dev.timing.erase_latency)]
+
+    def test_read_many_completion(self):
+        engine, geo, dev = self.make(channels=2)
+        done = []
+        count = dev.read_many(range(10), on_all_done=lambda: done.append(engine.now))
+        engine.run()
+        assert count == 10
+        assert len(done) == 1
+        assert dev.stats.counter("page_reads").value == 10
+
+    def test_read_many_empty(self):
+        engine, _, dev = self.make()
+        done = []
+        dev.read_many([], on_all_done=lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.0)]
+
+    def test_channel_scaling_improves_throughput(self):
+        """More channels => shorter makespan for a fixed page batch (Fig. 12)."""
+        times = {}
+        for channels in (1, 2, 4):
+            engine, geo, dev = self.make(channels=channels)
+            npages = 32
+            dev.read_many(range(npages))
+            times[channels] = engine.run()
+        assert times[4] < times[2] < times[1]
+
+    def test_higher_read_latency_slows_batch(self):
+        """Figure 14: flash latency sweeps shift the read-throughput bound."""
+        def makespan(read_latency_us):
+            engine, geo, dev = self.make(channels=2, read_latency=read_latency_us * 1e-6)
+            dev.read_many(range(32))
+            return engine.run()
+
+        assert makespan(110) > makespan(10)
+
+    def test_max_read_throughput_crossover(self):
+        engine, _, dev = self.make(channels=2, read_latency=10e-6)
+        fast = dev.max_read_throughput()
+        engine2, _, dev2 = self.make(channels=2, read_latency=110e-6)
+        slow = dev2.max_read_throughput()
+        assert fast > slow
+
+    def test_functional_coupling(self):
+        engine = Engine()
+        geo = small_geometry(channels=1, chips_per_channel=1, dies_per_chip=1,
+                             planes_per_die=1, blocks_per_plane=4, pages_per_block=4)
+        chip = FlashChip(geo, store_data=True)
+        dev = FlashDevice(engine, geo, chip=chip)
+        sink = []
+        dev.write(chip.pages_of_block(0)[0], data=b"payload")
+        dev.read(chip.pages_of_block(0)[0], data_sink=sink)
+        engine.run()
+        assert sink == [b"payload"]

@@ -1,0 +1,124 @@
+"""Tests for FTL maintenance machinery: read-disturb refresh, background GC."""
+
+import pytest
+
+from repro.flash import FlashChip, PageState
+from repro.flash.geometry import small_geometry
+from repro.ftl import Ftl
+
+
+def tiny_geometry():
+    return small_geometry(channels=2, chips_per_channel=1, dies_per_chip=1,
+                          planes_per_die=1, blocks_per_plane=8, pages_per_block=8)
+
+
+class TestReadDisturb:
+    def make_ftl(self, threshold=20):
+        geo = tiny_geometry()
+        chip = FlashChip(geo, store_data=True)
+        return Ftl(geo, chip=chip, read_disturb_threshold=threshold)
+
+    def test_hot_reads_trigger_refresh(self):
+        ftl = self.make_ftl(threshold=10)
+        ftl.write(0, b"hot page")
+        # fill both planes' active blocks so LPA 0's block is sealed
+        for i in range(1, 16):
+            ftl.write(i, b"filler")
+        for _ in range(10):
+            ftl.read(0)
+        assert ftl.stats.disturb_refreshes == 1
+
+    def test_refresh_relocates_and_preserves_data(self):
+        ftl = self.make_ftl(threshold=10)
+        for i in range(16):
+            ftl.write(i, f"page-{i}".encode())
+        old_ppa = ftl.translate(0)
+        cost = None
+        for _ in range(10):
+            cost = ftl.read(0)
+        assert cost is not None and cost.block_erases == 1
+        assert ftl.translate(0) != old_ppa  # moved
+        for i in range(16):
+            assert ftl.read_data(i) == f"page-{i}".encode()
+
+    def test_counter_resets_after_refresh(self):
+        ftl = self.make_ftl(threshold=10)
+        for i in range(16):
+            ftl.write(i, b"x")
+        for _ in range(10):
+            ftl.read(0)
+        assert ftl.stats.disturb_refreshes == 1
+        for _ in range(9):
+            ftl.read(0)
+        assert ftl.stats.disturb_refreshes == 1  # not yet at threshold again
+
+    def test_active_block_never_refreshed(self):
+        ftl = self.make_ftl(threshold=3)
+        ftl.write(0, b"in the active block")
+        for _ in range(10):
+            ftl.read(0)
+        assert ftl.stats.disturb_refreshes == 0
+        assert ftl.read_data(0) == b"in the active block"
+
+    def test_default_threshold_is_high(self):
+        ftl = self.make_ftl(threshold=100_000)
+        ftl.write(0, b"x")
+        for _ in range(500):
+            ftl.read(0)
+        assert ftl.stats.disturb_refreshes == 0
+
+    def test_invalid_threshold(self):
+        geo = tiny_geometry()
+        with pytest.raises(ValueError):
+            Ftl(geo, chip=FlashChip(geo), read_disturb_threshold=0)
+
+
+class TestBackgroundGc:
+    def make_churned_ftl(self):
+        geo = tiny_geometry()
+        ftl = Ftl(geo, chip=FlashChip(geo), gc_watermark=1)
+        # burn through most free blocks with a hot working set
+        for i in range(geo.total_pages - 24):
+            ftl.write(i % 4)
+        return ftl
+
+    def test_background_gc_reclaims(self):
+        ftl = self.make_churned_ftl()
+        free_before = ftl.allocator.total_free_blocks()
+        result = ftl.background_collect(soft_watermark=6, max_blocks=2)
+        assert result.blocks_erased >= 1
+        assert ftl.allocator.total_free_blocks() >= free_before
+        assert ftl.stats.background_collections == 1
+
+    def test_bounded_per_call(self):
+        ftl = self.make_churned_ftl()
+        result = ftl.background_collect(soft_watermark=6, max_blocks=1)
+        assert result.blocks_erased <= 1
+
+    def test_background_gc_reduces_foreground_stalls(self):
+        """Proactive reclamation means later writes rarely trigger GC."""
+        def churn(background):
+            geo = tiny_geometry()
+            ftl = Ftl(geo, chip=FlashChip(geo), gc_watermark=1)
+            foreground = 0
+            for i in range(geo.total_pages * 3):
+                cost = ftl.write(i % 4)
+                if cost.gc is not None:
+                    foreground += 1
+                if background and i % 4 == 0:
+                    ftl.background_collect(soft_watermark=5, max_blocks=1)
+            return foreground
+
+        assert churn(background=True) < churn(background=False)
+
+    def test_idle_system_noop(self):
+        geo = tiny_geometry()
+        ftl = Ftl(geo, chip=FlashChip(geo))
+        result = ftl.background_collect(soft_watermark=4)
+        assert result.blocks_erased == 0
+        assert ftl.stats.background_collections == 0
+
+    def test_soft_watermark_must_exceed_hard(self):
+        ftl = self.make_churned_ftl()
+        with pytest.raises(ValueError):
+            ftl.background_collect(soft_watermark=1)

@@ -1,0 +1,141 @@
+"""Tests for host-side models: PCIe, SGX, and the IceClave library."""
+
+import pytest
+
+from repro.core import IceClaveConfig, IceClaveRuntime, TeeState
+from repro.core.config import MIB
+from repro.flash import FlashChip
+from repro.flash.geometry import small_geometry
+from repro.ftl import Ftl
+from repro.host import IceClaveLibrary, PcieLink, SgxModel
+
+
+class TestPcie:
+    def test_gen3_x4_raw_bandwidth(self):
+        link = PcieLink(generation=3, lanes=4)
+        assert link.raw_bandwidth == pytest.approx(3.94e9, rel=0.01)
+
+    def test_effective_below_raw(self):
+        link = PcieLink()
+        assert link.effective_bandwidth < link.raw_bandwidth
+
+    def test_transfer_time_scales(self):
+        link = PcieLink()
+        assert link.transfer_time(2 << 30) == pytest.approx(2 * link.transfer_time(1 << 30))
+
+    def test_more_lanes_more_bandwidth(self):
+        assert PcieLink(lanes=8).raw_bandwidth == 2 * PcieLink(lanes=4).raw_bandwidth
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            PcieLink(generation=7)
+        with pytest.raises(ValueError):
+            PcieLink(lanes=3)
+        with pytest.raises(ValueError):
+            PcieLink(efficiency=0.0)
+        with pytest.raises(ValueError):
+            PcieLink().transfer_time(-1)
+
+
+class TestSgx:
+    def test_inflates_compute(self):
+        sgx = SgxModel()
+        total = sgx.compute_time(1.0, streamed_bytes=1 << 30,
+                                 working_set_bytes=10 * MIB, cpu_frequency_hz=4.2e9)
+        assert total > 1.0
+
+    def test_epc_overflow_pays_paging(self):
+        sgx = SgxModel()
+        small = sgx.compute_time(1.0, 1 << 30, working_set_bytes=50 * MIB,
+                                 cpu_frequency_hz=4.2e9)
+        big = sgx.compute_time(1.0, 1 << 30, working_set_bytes=200 * MIB,
+                               cpu_frequency_hz=4.2e9)
+        assert big > small
+
+    def test_paper_compute_doubling_band(self):
+        """§6.2: SGX adds ~103% computing time for the query workloads."""
+        sgx = SgxModel()
+        base = 2.0
+        total = sgx.compute_time(base, streamed_bytes=32 << 30,
+                                 working_set_bytes=186 * MIB, cpu_frequency_hz=4.2e9)
+        inflation = sgx.overhead_factor(base, total)
+        assert 0.5 <= inflation <= 1.6
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SgxModel().compute_time(-1.0, 0, 0, 1e9)
+
+
+def make_library():
+    geo = small_geometry()
+    ftl = Ftl(geo, chip=FlashChip(geo))
+    for lpa in range(32):
+        ftl.write(lpa)
+    config = IceClaveConfig(
+        dram_bytes=512 * MIB, protected_region_bytes=8 * MIB,
+        secure_region_bytes=8 * MIB, tee_preallocation_bytes=4 * MIB,
+    )
+    runtime = IceClaveRuntime(ftl, config=config)
+    return IceClaveLibrary(runtime), runtime
+
+
+class TestIceClaveLibrary:
+    def test_offload_execute_get_result(self):
+        lib, runtime = make_library()
+        handle = lib.offload_code(b"\x90" * 64, lpas=[0, 1, 2])
+        lib.execute(handle, lambda tee: b"the answer")
+        assert lib.get_result(handle.tid) == b"the answer"
+        assert handle.tee.state is TeeState.TERMINATED
+
+    def test_task_ids_autoassigned_unique(self):
+        lib, _ = make_library()
+        h1 = lib.offload_code(b"\x90", lpas=[0])
+        h2 = lib.offload_code(b"\x90", lpas=[1])
+        assert h1.tid != h2.tid
+        assert set(lib.pending_tasks()) == {h1.tid, h2.tid}
+
+    def test_duplicate_tid_rejected(self):
+        lib, _ = make_library()
+        lib.offload_code(b"\x90", lpas=[0], tid=7)
+        with pytest.raises(ValueError):
+            lib.offload_code(b"\x90", lpas=[1], tid=7)
+
+    def test_program_exception_aborts_tee(self):
+        lib, runtime = make_library()
+        handle = lib.offload_code(b"\x90", lpas=[0])
+
+        def bad_program(tee):
+            raise RuntimeError("segfault")
+
+        with pytest.raises(RuntimeError):
+            lib.execute(handle, bad_program)
+        assert handle.tee.state is TeeState.ABORTED
+        with pytest.raises(RuntimeError, match="aborted"):
+            lib.get_result(handle.tid)
+
+    def test_result_before_completion_rejected(self):
+        lib, _ = make_library()
+        handle = lib.offload_code(b"\x90", lpas=[0])
+        with pytest.raises(RuntimeError, match="not completed"):
+            lib.get_result(handle.tid)
+
+    def test_unknown_tid(self):
+        lib, _ = make_library()
+        with pytest.raises(KeyError):
+            lib.get_result(404)
+
+    def test_program_can_translate_its_data(self):
+        lib, runtime = make_library()
+        handle = lib.offload_code(b"\x90", lpas=[0, 1])
+
+        def program(tee):
+            ppa = runtime.read_mapping_entry(tee, 0)
+            return ppa.to_bytes(8, "little")
+
+        lib.execute(handle, program)
+        assert lib.get_result(handle.tid)
+
+    def test_decryption_key_carried_to_tee(self):
+        lib, _ = make_library()
+        handle = lib.offload_code(b"\x90", lpas=[0], decryption_key=b"user-key")
+        assert handle.tee.decryption_key == b"user-key"

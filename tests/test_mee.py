@@ -1,0 +1,216 @@
+"""Tests for the memory encryption engine (hybrid counters, SC-64)."""
+
+import pytest
+
+from repro.core import CounterCache, EncryptionScheme, IceClaveConfig, IntegrityError
+from repro.core.mee import (
+    FunctionalMee,
+    LINES_PER_PAGE,
+    MAJOR_COUNTERS_PER_BLOCK,
+    MemoryEncryptionEngine,
+)
+
+
+def make_mee(scheme=EncryptionScheme.HYBRID, cache_kib=128):
+    config = IceClaveConfig(counter_cache_bytes=cache_kib * 1024)
+    return MemoryEncryptionEngine(config=config, scheme=scheme)
+
+
+class TestCounterCache:
+    def test_hit_miss(self):
+        cache = CounterCache(1024)
+        hit, _ = cache.access("a")
+        assert not hit
+        hit, _ = cache.access("a")
+        assert hit
+
+    def test_dirty_eviction_returns_victim(self):
+        cache = CounterCache(2 * 64)  # 2 lines
+        cache.access("a", dirty=True)
+        cache.access("b")
+        _, victim = cache.access("c")  # evicts dirty "a"
+        assert victim == "a"
+        assert cache.dirty_evictions == 1
+
+    def test_clean_eviction_returns_none(self):
+        cache = CounterCache(2 * 64)
+        cache.access("a")
+        cache.access("b")
+        _, victim = cache.access("c")
+        assert victim is None
+        assert cache.clean_evictions == 1
+
+    def test_flush_counts_dirty(self):
+        cache = CounterCache(1024)
+        cache.access("a", dirty=True)
+        cache.access("b")
+        assert cache.flush() == 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CounterCache(10)
+
+
+class TestSchemes:
+    def test_none_scheme_is_free(self):
+        mee = make_mee(EncryptionScheme.NONE)
+        r = mee.read(0, 0)
+        w = mee.write(0, 0)
+        assert r.latency == 0 and w.latency == 0
+        assert mee.stats.encryption_extra_traffic() == 0.0
+
+    def test_read_costs_less_after_counter_cached(self):
+        mee = make_mee()
+        first = mee.read(0, 0)
+        second = mee.read(0, 1)
+        assert not first.counter_hit
+        assert second.counter_hit
+        assert second.latency < first.latency
+
+    def test_hybrid_major_block_covers_eight_pages(self):
+        """One major-counter line serves 8 read-only pages: 1 counter miss."""
+        mee = make_mee(EncryptionScheme.HYBRID)
+        misses = 0
+        for page in range(MAJOR_COUNTERS_PER_BLOCK):
+            if not mee.read(page, 0, readonly=True).counter_hit:
+                misses += 1
+        assert misses == 1
+
+    def test_sc64_one_counter_line_per_page(self):
+        mee = make_mee(EncryptionScheme.SPLIT_COUNTER)
+        misses = 0
+        for page in range(MAJOR_COUNTERS_PER_BLOCK):
+            if not mee.read(page, 0, readonly=True).counter_hit:
+                misses += 1
+        assert misses == MAJOR_COUNTERS_PER_BLOCK
+
+    def test_hybrid_beats_sc64_on_streaming_reads(self):
+        """The Figure 8 mechanism: 8x counter coverage => less extra traffic."""
+        results = {}
+        for scheme in (EncryptionScheme.SPLIT_COUNTER, EncryptionScheme.HYBRID):
+            mee = make_mee(scheme, cache_kib=8)  # small cache to expose misses
+            for page in range(4096):
+                for line in range(0, LINES_PER_PAGE, 8):
+                    mee.read(page, line, readonly=True)
+            results[scheme] = mee.stats.encryption_extra_traffic()
+        assert results[EncryptionScheme.HYBRID] < results[EncryptionScheme.SPLIT_COUNTER]
+
+    def test_write_dirties_counter_state(self):
+        mee = make_mee()
+        mee.write(0, 0, readonly=False)
+        major, minor = mee.counter_of(0, 0, readonly=False)
+        assert minor == 1
+
+    def test_minor_overflow_reencrypts_page(self):
+        mee = make_mee()
+        limit = mee.config.minor_counter_limit
+        reencrypted = False
+        for _ in range(limit):
+            reencrypted = mee.write(0, 0, readonly=False).reencrypted_page
+        assert reencrypted
+        assert mee.stats.minor_overflows == 1
+        # counters reset; a fresh major
+        major, minor = mee.counter_of(0, 0, readonly=False)
+        assert major == 1 and minor == 0
+
+    def test_hybrid_promotion_on_write_to_readonly_page(self):
+        """§4.4 dynamic permission change: read-only -> writable."""
+        mee = make_mee(EncryptionScheme.HYBRID)
+        mee.read(0, 0, readonly=True)  # establishes major-counter use
+        result = mee.write(0, 0, readonly=True)
+        assert result.reencrypted_page
+        assert mee.stats.permission_promotions == 1
+        # the page now uses split counters
+        assert mee._uses_split_block(0, readonly=True)
+
+    def test_make_readonly_demotes(self):
+        mee = make_mee(EncryptionScheme.HYBRID)
+        mee.write(0, 0, readonly=True)
+        old_major, _ = mee.counter_of(0, 0, readonly=False)
+        mee.make_readonly(0)
+        assert not mee._uses_split_block(0, readonly=True)
+        new_major, _ = mee.counter_of(0, 0, readonly=True)
+        assert new_major == old_major + 1  # §4.4: incremented on copy-back
+
+    def test_write_heavy_traffic_exceeds_read_heavy(self):
+        """Table 6's gradient: write ratio drives extra traffic.
+
+        Reads stream a read-only input region; writes churn a writable
+        intermediate region (dirty counter/MAC/tree lines get written back).
+        """
+        def run(writes_per_page):
+            mee = make_mee(cache_kib=16)
+            for page in range(512):
+                for line in range(LINES_PER_PAGE):
+                    mee.read(page, line, readonly=True)
+                for w in range(writes_per_page):
+                    mee.write(4096 + page, w % LINES_PER_PAGE, readonly=False)
+            return (mee.stats.encryption_extra_traffic()
+                    + mee.stats.verification_extra_traffic())
+
+        assert run(writes_per_page=32) > run(writes_per_page=1)
+
+    def test_latency_means_are_positive(self):
+        mee = make_mee()
+        for i in range(100):
+            mee.read(i % 16, i % LINES_PER_PAGE)
+            mee.write(i % 16, i % LINES_PER_PAGE, readonly=False)
+        assert mee.stats.mean_encryption_latency() > 0
+        assert mee.stats.mean_verification_latency() > 0
+
+    def test_line_bounds_checked(self):
+        with pytest.raises(ValueError):
+            make_mee().read(0, LINES_PER_PAGE)
+
+
+class TestFunctionalMee:
+    def make(self):
+        return FunctionalMee(pages=8, aes_key=b"0123456789abcdef", mac_key=b"mac-key")
+
+    def test_write_read_roundtrip(self):
+        mee = self.make()
+        mee.write_line(0, 0, b"secret intermediate data" + bytes(40))
+        assert mee.read_line(0, 0).startswith(b"secret intermediate data")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        mee = self.make()
+        plain = b"A" * 64
+        mee.write_line(1, 2, plain)
+        assert mee.dram_ciphertext[(1, 2)] != plain
+
+    def test_same_plaintext_twice_different_ciphertext(self):
+        """Counter bump => temporal uniqueness of the OTP."""
+        mee = self.make()
+        mee.write_line(0, 0, b"A" * 64)
+        ct1 = mee.dram_ciphertext[(0, 0)]
+        mee.write_line(0, 0, b"A" * 64)
+        ct2 = mee.dram_ciphertext[(0, 0)]
+        assert ct1 != ct2
+
+    def test_tampered_ciphertext_detected(self):
+        mee = self.make()
+        mee.write_line(0, 0, b"B" * 64)
+        ct = bytearray(mee.dram_ciphertext[(0, 0)])
+        ct[0] ^= 1
+        mee.dram_ciphertext[(0, 0)] = bytes(ct)
+        with pytest.raises(IntegrityError):
+            mee.read_line(0, 0)
+
+    def test_replayed_line_detected(self):
+        """Replay: restore an old (ciphertext, MAC) pair -> tree catches it."""
+        mee = self.make()
+        mee.write_line(0, 0, b"v1" + bytes(62))
+        stale = (mee.dram_ciphertext[(0, 0)], mee.dram_macs[(0, 0)])
+        mee.write_line(0, 0, b"v2" + bytes(62))
+        mee.dram_ciphertext[(0, 0)], mee.dram_macs[(0, 0)] = stale
+        with pytest.raises(IntegrityError):
+            mee.read_line(0, 0)
+
+    def test_unwritten_line_raises(self):
+        with pytest.raises(KeyError):
+            self.make().read_line(0, 1)
+
+    def test_bounds(self):
+        mee = self.make()
+        with pytest.raises(ValueError):
+            mee.write_line(8, 0, b"x")

@@ -1,0 +1,97 @@
+"""Property-based tests for MEE counter-state invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EncryptionScheme, IceClaveConfig
+from repro.core.mee import LINES_PER_PAGE, MemoryEncryptionEngine
+
+
+def make_mee(scheme=EncryptionScheme.HYBRID, minor_bits=7):
+    config = IceClaveConfig(minor_counter_bits=minor_bits)
+    return MemoryEncryptionEngine(config=config, scheme=scheme)
+
+
+ops = st.lists(
+    st.tuples(
+        st.booleans(),  # is_write
+        st.integers(0, 15),  # page
+        st.integers(0, LINES_PER_PAGE - 1),  # line
+        st.booleans(),  # readonly region flag
+    ),
+    max_size=120,
+)
+
+
+class TestCounterInvariants:
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_counters_never_decrease(self, operations):
+        """(major, minor) pairs are non-decreasing lexicographically."""
+        mee = make_mee()
+        last = {}
+        for is_write, page, line, readonly in operations:
+            if is_write:
+                mee.write(page, line, readonly=readonly)
+            else:
+                mee.read(page, line, readonly=readonly)
+            major, minor = mee.counter_of(page, line, readonly=False)
+            key = (page, line)
+            if key in last:
+                assert (major, minor) >= last[key] or major > last[key][0]
+            last[key] = (major, minor)
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_traffic_accounting_consistent(self, operations):
+        """Stats totals equal the number of operations issued."""
+        mee = make_mee()
+        reads = writes = 0
+        for is_write, page, line, readonly in operations:
+            if is_write:
+                mee.write(page, line, readonly=readonly)
+                writes += 1
+            else:
+                mee.read(page, line, readonly=readonly)
+                reads += 1
+        assert mee.stats.data_reads == reads
+        assert mee.stats.data_writes == writes
+        assert mee.stats.encryption_lines >= 0
+        assert mee.stats.verification_lines >= 0
+
+    @given(st.integers(0, 63), st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_minor_overflow_always_resets(self, line, minor_bits):
+        """Whatever the counter width, overflow bumps major and zeroes minors."""
+        mee = make_mee(minor_bits=minor_bits)
+        limit = 1 << minor_bits
+        for _ in range(limit):
+            mee.write(0, line, readonly=False)
+        major, minor = mee.counter_of(0, line, readonly=False)
+        assert major == 1
+        assert minor == 0
+        assert mee.stats.minor_overflows == 1
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_promote_demote_cycle_monotone(self, page):
+        """§4.4 permission flips: the major counter strictly grows each flip."""
+        mee = make_mee()
+        mee.read(page, 0, readonly=True)
+        majors = []
+        for _ in range(3):
+            mee.write(page, 0, readonly=True)  # promote (re-encrypt)
+            majors.append(mee.counter_of(page, 0, readonly=False)[0])
+            mee.make_readonly(page)  # demote (copy back, increment)
+            majors.append(mee.counter_of(page, 0, readonly=True)[0])
+        assert majors == sorted(majors)
+        assert majors[-1] > majors[0]
+
+    @given(ops)
+    @settings(max_examples=25, deadline=None)
+    def test_none_scheme_is_always_free(self, operations):
+        mee = make_mee(scheme=EncryptionScheme.NONE)
+        for is_write, page, line, readonly in operations:
+            result = (mee.write if is_write else mee.read)(page, line, readonly=readonly)
+            assert result.latency == 0.0
+            assert result.encryption_lines == 0.0
+            assert result.verification_lines == 0.0

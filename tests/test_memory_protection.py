@@ -1,0 +1,114 @@
+"""Tests for the TrustZone-extended three-region protection model (§4.2)."""
+
+import pytest
+
+from repro.core import AccessType, AddressSpace, MemoryRegion, MMUFault, World
+from repro.core.memory_protection import check_access, descriptor_for
+
+
+class TestPermissionMatrix:
+    """The Figure 6 matrix, case by case."""
+
+    def test_normal_world_rw_normal_region(self):
+        check_access(MemoryRegion.NORMAL, World.NORMAL, AccessType.READ)
+        check_access(MemoryRegion.NORMAL, World.NORMAL, AccessType.WRITE)
+
+    def test_normal_world_reads_protected_region(self):
+        """In-storage programs read the mapping table without a world switch."""
+        check_access(MemoryRegion.PROTECTED, World.NORMAL, AccessType.READ)
+
+    def test_normal_world_cannot_write_protected_region(self):
+        """Only the secure-world FTL may update the mapping table."""
+        with pytest.raises(MMUFault):
+            check_access(MemoryRegion.PROTECTED, World.NORMAL, AccessType.WRITE)
+
+    def test_normal_world_cannot_touch_secure_region(self):
+        for access in AccessType:
+            with pytest.raises(MMUFault):
+                check_access(MemoryRegion.SECURE, World.NORMAL, access)
+
+    def test_secure_world_rw_everywhere(self):
+        for region in MemoryRegion:
+            for access in AccessType:
+                check_access(region, World.SECURE, access)
+
+
+class TestDescriptors:
+    def test_figure6_encodings(self):
+        assert (descriptor_for(MemoryRegion.NORMAL).es,
+                descriptor_for(MemoryRegion.NORMAL).ap,
+                descriptor_for(MemoryRegion.NORMAL).ns) == (1, 0b01, 1)
+        assert (descriptor_for(MemoryRegion.PROTECTED).es,
+                descriptor_for(MemoryRegion.PROTECTED).ap,
+                descriptor_for(MemoryRegion.PROTECTED).ns) == (0, 0b01, 1)
+        assert (descriptor_for(MemoryRegion.SECURE).es,
+                descriptor_for(MemoryRegion.SECURE).ap,
+                descriptor_for(MemoryRegion.SECURE).ns) == (0, 0b00, 0)
+
+    def test_descriptor_roundtrip(self):
+        for region in MemoryRegion:
+            assert descriptor_for(region).region() is region
+
+    def test_reserved_encoding_faults(self):
+        from repro.core.memory_protection import RegionDescriptor
+        with pytest.raises(MMUFault):
+            RegionDescriptor(es=1, ap=0b00, ns=0).region()
+
+
+class TestAddressSpace:
+    def make(self):
+        return AddressSpace(dram_bytes=1 << 20, secure_bytes=1 << 16,
+                            protected_bytes=1 << 16)
+
+    def test_region_layout(self):
+        space = self.make()
+        assert space.region_of(0) is MemoryRegion.SECURE
+        assert space.region_of((1 << 16)) is MemoryRegion.PROTECTED
+        assert space.region_of((1 << 17)) is MemoryRegion.NORMAL
+
+    def test_out_of_dram_faults(self):
+        with pytest.raises(MMUFault):
+            self.make().region_of(1 << 20)
+
+    def test_allocation_in_normal_region(self):
+        space = self.make()
+        rng = space.allocate(4096, owner=1)
+        assert space.region_of(rng.start) is MemoryRegion.NORMAL
+        assert space.owner_of(rng.start) == 1
+
+    def test_allocation_exhaustion(self):
+        space = self.make()
+        with pytest.raises(MemoryError):
+            space.allocate(1 << 21)
+
+    def test_free_at_tail_reuses(self):
+        space = self.make()
+        rng = space.allocate(4096)
+        before = space.free_bytes()
+        space.free(rng)
+        assert space.free_bytes() == before + 4096
+
+    def test_cross_tee_access_faults(self):
+        """TEE isolation inside the normal world (§4.2)."""
+        space = self.make()
+        rng1 = space.allocate(4096, owner=1)
+        space.allocate(4096, owner=2)
+        # TEE 1 reading its own memory: fine
+        space.check(rng1.start, World.NORMAL, AccessType.READ, tee_id=1)
+        # TEE 2 touching TEE 1's memory: fault
+        with pytest.raises(MMUFault):
+            space.check(rng1.start, World.NORMAL, AccessType.READ, tee_id=2)
+        assert space.faults == 1
+
+    def test_malicious_mapping_table_write_faults(self):
+        """Attack (2) of the threat model: normal world writes the FTL state."""
+        space = self.make()
+        mapping_table_addr = space.protected_range.start
+        with pytest.raises(MMUFault):
+            space.check(mapping_table_addr, World.NORMAL, AccessType.WRITE, tee_id=1)
+
+    def test_secure_world_bypasses_tee_isolation(self):
+        space = self.make()
+        rng1 = space.allocate(4096, owner=1)
+        # the IceClave runtime (secure world) manages all TEEs
+        space.check(rng1.start, World.SECURE, AccessType.WRITE)

@@ -1,0 +1,47 @@
+"""Tests for RunResult comparison helpers."""
+
+import pytest
+
+from repro.platform.metrics import RunResult, geometric_mean
+
+
+def make(total, **components):
+    return RunResult(workload="w", scheme="s", total_time=total, components=components)
+
+
+class TestRunResult:
+    def test_speedup(self):
+        assert make(5.0).speedup_over(make(10.0)) == pytest.approx(2.0)
+
+    def test_overhead(self):
+        assert make(10.75).overhead_over(make(10.0)) == pytest.approx(0.075)
+
+    def test_zero_time_comparisons_rejected(self):
+        with pytest.raises(ValueError):
+            make(0.0).speedup_over(make(1.0))
+        with pytest.raises(ValueError):
+            make(1.0).overhead_over(make(0.0))
+
+    def test_exposed_sums_to_total(self):
+        r = make(10.0, load=6.0, compute=6.0)  # overlapping components
+        exposed = r.exposed()
+        assert sum(exposed.values()) == pytest.approx(10.0)
+        assert exposed["load"] == exposed["compute"]
+
+    def test_exposed_drops_zero_components(self):
+        r = make(10.0, load=5.0, security=0.0)
+        assert "security" not in r.exposed()
+
+    def test_exposed_handles_empty(self):
+        assert make(3.0).exposed() == {"total": 3.0}
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

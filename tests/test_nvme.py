@@ -1,0 +1,110 @@
+"""Tests for the NVMe host-interface model."""
+
+import pytest
+
+from repro.host.nvme import NvmeQueuePair, NvmeTiming
+from repro.host.pcie import PcieLink
+from repro.sim import Engine
+
+
+def make_qp(queue_depth=64, device_latency=80e-6):
+    engine = Engine()
+    return engine, NvmeQueuePair(
+        engine, PcieLink(), queue_depth=queue_depth, device_latency=device_latency
+    )
+
+
+class TestSingleCommand:
+    def test_latency_composition(self):
+        engine, qp = make_qp()
+        cmd = qp.submit("read", 4096)
+        qp.run()
+        t = qp.timing
+        floor = (t.doorbell_write + t.command_fetch + qp.device_latency
+                 + t.interrupt_latency + t.completion_handling)
+        assert cmd.latency is not None
+        assert cmd.latency >= floor
+        # a 4 KB read should finish well under a millisecond
+        assert cmd.latency < 1e-3
+
+    def test_bigger_transfer_longer_latency(self):
+        engine, qp = make_qp()
+        small = qp.submit("read", 4096)
+        qp.run()
+        engine2, qp2 = make_qp()
+        large = qp2.submit("read", 1 << 20)
+        qp2.run()
+        assert large.latency > small.latency
+
+    def test_invalid_opcode(self):
+        _, qp = make_qp()
+        with pytest.raises(ValueError):
+            qp.submit("trim", 4096)
+
+    def test_negative_size(self):
+        _, qp = make_qp()
+        with pytest.raises(ValueError):
+            qp.submit("read", -1)
+
+    def test_completion_callback(self):
+        _, qp = make_qp()
+        done = []
+        qp.submit("write", 4096, on_done=done.append)
+        qp.run()
+        assert len(done) == 1
+        assert done[0].opcode == "write"
+
+
+class TestQueueing:
+    def test_queue_depth_parallelism(self):
+        """Deep queues overlap device latency; QD1 serializes it."""
+        _, qd1 = make_qp(queue_depth=1)
+        for _ in range(16):
+            qd1.submit("read", 4096)
+        t_qd1 = qd1.run()
+        _, qd16 = make_qp(queue_depth=16)
+        for _ in range(16):
+            qd16.submit("read", 4096)
+        t_qd16 = qd16.run()
+        assert t_qd16 < t_qd1 / 4
+
+    def test_all_commands_complete(self):
+        _, qp = make_qp(queue_depth=4)
+        for _ in range(50):
+            qp.submit("read", 4096)
+        qp.run()
+        assert len(qp.completed) == 50
+        assert all(c.latency is not None for c in qp.completed)
+
+    def test_excess_commands_wait(self):
+        """Commands beyond the queue depth see queueing delay."""
+        _, qp = make_qp(queue_depth=1)
+        first = qp.submit("read", 4096)
+        second = qp.submit("read", 4096)
+        qp.run()
+        assert second.latency > first.latency
+
+    def test_sequential_reads_approach_link_bandwidth(self):
+        """Large sequential reads at depth should near the PCIe ceiling."""
+        _, qp = make_qp(queue_depth=32, device_latency=50e-6)
+        for _ in range(64):
+            qp.submit("read", 1 << 20)  # 1 MB commands
+        qp.run()
+        throughput = qp.throughput_bytes_per_s()
+        assert throughput > 0.7 * qp.link.effective_bandwidth
+        assert throughput <= qp.link.effective_bandwidth * 1.01
+
+    def test_small_random_reads_are_latency_bound(self):
+        """4 KB commands cannot saturate the link — IOPS-bound instead."""
+        _, qp = make_qp(queue_depth=4, device_latency=80e-6)
+        for _ in range(64):
+            qp.submit("read", 4096)
+        qp.run()
+        assert qp.throughput_bytes_per_s() < 0.5 * qp.link.effective_bandwidth
+
+    def test_latency_percentiles_available(self):
+        _, qp = make_qp(queue_depth=2)
+        for _ in range(20):
+            qp.submit("read", 4096)
+        qp.run()
+        assert qp.latency.percentile(99) >= qp.latency.percentile(50)

@@ -1,0 +1,163 @@
+"""Tests for the RISC-V PMP realization of IceClave's regions (§4.7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AccessType, MemoryRegion, MMUFault
+from repro.core.memory_protection import World, check_access
+from repro.core.riscv_pmp import (
+    AddressMatch,
+    PhysicalMemoryProtection,
+    PmpEntry,
+    PrivilegeLevel,
+    iceclave_pmp_layout,
+    region_of_pmp_layout,
+)
+
+SECURE = 1 << 16
+PROTECTED = 1 << 16
+DRAM = 1 << 20
+
+
+@pytest.fixture()
+def pmp():
+    return iceclave_pmp_layout(SECURE, PROTECTED, DRAM)
+
+
+class TestPmpEntry:
+    def test_napot_roundtrip(self):
+        entry = PmpEntry.napot(0x10000, 0x1000, r=True, w=False, x=False, locked=False)
+        assert entry.napot_range() == (0x10000, 0x11000)
+
+    def test_napot_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PmpEntry.napot(0, 3000, True, False, False, False)
+
+    def test_napot_requires_alignment(self):
+        with pytest.raises(ValueError):
+            PmpEntry.napot(0x100, 0x1000, True, False, False, False)
+
+    def test_write_without_read_reserved(self):
+        with pytest.raises(ValueError):
+            PmpEntry.tor(0x1000, r=False, w=True, x=False, locked=False)
+
+    def test_tor_granularity(self):
+        with pytest.raises(ValueError):
+            PmpEntry.tor(0x1001, r=True, w=True, x=False, locked=False)
+
+    @given(st.integers(3, 20), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_napot_roundtrip_property(self, log_size, base_mult):
+        size = 1 << log_size
+        base = base_mult * size
+        entry = PmpEntry.napot(base, size, True, True, False, False)
+        assert entry.napot_range() == (base, base + size)
+
+
+class TestIceClaveLayout:
+    def test_user_mode_matrix(self, pmp):
+        """U-mode sees exactly the Figure 6 normal-world permissions."""
+        # secure region: nothing
+        with pytest.raises(MMUFault):
+            pmp.check(0, PrivilegeLevel.USER, AccessType.READ)
+        with pytest.raises(MMUFault):
+            pmp.check(0, PrivilegeLevel.USER, AccessType.WRITE)
+        # protected region: read-only
+        pmp.check(SECURE, PrivilegeLevel.USER, AccessType.READ)
+        with pytest.raises(MMUFault):
+            pmp.check(SECURE, PrivilegeLevel.USER, AccessType.WRITE)
+        # normal region: read/write
+        pmp.check(SECURE + PROTECTED, PrivilegeLevel.USER, AccessType.READ)
+        pmp.check(SECURE + PROTECTED, PrivilegeLevel.USER, AccessType.WRITE)
+
+    def test_machine_mode_unconstrained(self, pmp):
+        """M-mode (FTL + runtime) has R/W everywhere, like the secure world."""
+        for addr in (0, SECURE, SECURE + PROTECTED, DRAM - 4):
+            for access in AccessType:
+                pmp.check(addr, PrivilegeLevel.MACHINE, access)
+
+    def test_supervisor_same_as_user(self, pmp):
+        with pytest.raises(MMUFault):
+            pmp.check(SECURE, PrivilegeLevel.SUPERVISOR, AccessType.WRITE)
+        pmp.check(SECURE, PrivilegeLevel.SUPERVISOR, AccessType.READ)
+
+    def test_unmatched_su_access_faults(self, pmp):
+        with pytest.raises(MMUFault):
+            pmp.check(DRAM + 4096, PrivilegeLevel.USER, AccessType.READ)
+
+    def test_fault_counter(self, pmp):
+        with pytest.raises(MMUFault):
+            pmp.check(0, PrivilegeLevel.USER, AccessType.READ)
+        assert pmp.faults == 1
+
+    def test_equivalence_with_trustzone_matrix(self, pmp):
+        """Every (region, world, access) decision matches the ARM model."""
+        probes = {
+            MemoryRegion.SECURE: 0,
+            MemoryRegion.PROTECTED: SECURE,
+            MemoryRegion.NORMAL: SECURE + PROTECTED,
+        }
+        pairs = [
+            (World.NORMAL, PrivilegeLevel.USER),
+            (World.SECURE, PrivilegeLevel.MACHINE),
+        ]
+        for region, addr in probes.items():
+            for world, priv in pairs:
+                for access in AccessType:
+                    arm_allows = True
+                    try:
+                        check_access(region, world, access)
+                    except MMUFault:
+                        arm_allows = False
+                    pmp_allows = True
+                    try:
+                        pmp.check(addr, priv, access)
+                    except MMUFault:
+                        pmp_allows = False
+                    assert arm_allows == pmp_allows, (region, world, access)
+
+    def test_region_classification(self):
+        assert region_of_pmp_layout(0, SECURE, PROTECTED, DRAM) is MemoryRegion.SECURE
+        assert region_of_pmp_layout(SECURE, SECURE, PROTECTED, DRAM) is MemoryRegion.PROTECTED
+        assert region_of_pmp_layout(DRAM - 4, SECURE, PROTECTED, DRAM) is MemoryRegion.NORMAL
+        with pytest.raises(MMUFault):
+            region_of_pmp_layout(DRAM, SECURE, PROTECTED, DRAM)
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            iceclave_pmp_layout(0, PROTECTED, DRAM)
+        with pytest.raises(ValueError):
+            iceclave_pmp_layout(DRAM, DRAM, DRAM)
+
+
+class TestPmpSemantics:
+    def test_priority_first_match_wins(self):
+        pmp = PhysicalMemoryProtection([
+            PmpEntry.napot(0x1000, 0x1000, r=True, w=True, x=False, locked=False),
+            PmpEntry.napot(0x1000, 0x1000, r=False, w=False, x=False, locked=False),
+        ])
+        pmp.check(0x1800, PrivilegeLevel.USER, AccessType.WRITE)  # first entry wins
+
+    def test_locked_entry_binds_machine_mode(self):
+        pmp = PhysicalMemoryProtection([
+            PmpEntry.napot(0x1000, 0x1000, r=True, w=False, x=False, locked=True),
+        ])
+        pmp.check(0x1800, PrivilegeLevel.MACHINE, AccessType.READ)
+        with pytest.raises(MMUFault):
+            pmp.check(0x1800, PrivilegeLevel.MACHINE, AccessType.WRITE)
+
+    def test_off_entries_skipped(self):
+        pmp = PhysicalMemoryProtection([
+            PmpEntry(AddressMatch.OFF, 0x1000 >> 2, True, True, True, False),
+            PmpEntry.tor(0x2000, r=True, w=False, x=False, locked=False),
+        ])
+        # OFF entry only provides the TOR floor
+        pmp.check(0x1800, PrivilegeLevel.USER, AccessType.READ)
+        with pytest.raises(MMUFault):
+            pmp.check(0x800, PrivilegeLevel.USER, AccessType.READ)  # below floor
+
+    def test_entry_bank_bounded(self):
+        entries = [PmpEntry.tor(4 * (i + 1), True, False, False, False) for i in range(16)]
+        pmp = PhysicalMemoryProtection(entries)
+        with pytest.raises(ValueError):
+            pmp.add(PmpEntry.tor(0x100, True, False, False, False))

@@ -1,0 +1,189 @@
+"""Tests for the IceClave runtime: TEE lifecycle and translation paths."""
+
+import pytest
+
+from repro.core import IceClaveConfig, IceClaveRuntime, TeeAbort, TeeCreationError, TeeState
+from repro.core.config import KIB, MIB
+from repro.flash import FlashChip
+from repro.flash.geometry import small_geometry
+from repro.ftl import Ftl
+from repro.ftl.mapping import PUBLIC_ID
+
+
+def make_runtime(dram_mib=512, prealloc_mib=16, cache_kib=256):
+    geo = small_geometry()
+    ftl = Ftl(geo, chip=FlashChip(geo))
+    config = IceClaveConfig(
+        dram_bytes=dram_mib * MIB,
+        tee_preallocation_bytes=prealloc_mib * MIB,
+        protected_region_bytes=8 * MIB,
+        secure_region_bytes=8 * MIB,
+    )
+    from repro.ftl.mapping_cache import MappingCache
+    cache = MappingCache(cache_bytes=cache_kib * KIB)
+    runtime = IceClaveRuntime(ftl, config=config, mapping_cache=cache)
+    return runtime, ftl
+
+
+def populate(ftl, lpas):
+    for lpa in lpas:
+        ftl.write(lpa)
+
+
+CODE = b"\x90" * 1024  # 1 KB program
+
+
+class TestLifecycle:
+    def test_create_assigns_id_and_stamps_entries(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, range(8))
+        tee = runtime.create_tee(CODE, lpas=list(range(8)))
+        assert tee.state is TeeState.READY
+        assert 1 <= tee.eid <= 15
+        for lpa in range(8):
+            assert ftl.mapping.entry_unchecked(lpa).owner == tee.eid
+
+    def test_create_charges_table5_time(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, [0])
+        runtime.create_tee(CODE, lpas=[0])
+        assert runtime.charged_time == pytest.approx(95e-6)
+
+    def test_terminate_releases_everything(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, range(4))
+        tee = runtime.create_tee(CODE, lpas=range(4))
+        tee.result = b"answer"
+        assert runtime.terminate_tee(tee) == b"answer"
+        assert tee.state is TeeState.TERMINATED
+        assert ftl.mapping.entry_unchecked(0).owner == PUBLIC_ID
+        assert not runtime.tees
+
+    def test_ids_are_recycled(self):
+        """§4.3: IceClave reuses IDs for newly created TEEs."""
+        runtime, ftl = make_runtime()
+        populate(ftl, [0])
+        first = runtime.create_tee(CODE, lpas=[0])
+        eid = first.eid
+        runtime.terminate_tee(first)
+        second = runtime.create_tee(CODE, lpas=[0])
+        assert second.eid == eid
+
+    def test_fifteen_concurrent_tees_max(self):
+        runtime, ftl = make_runtime(dram_mib=1024, prealloc_mib=4)
+        populate(ftl, [0])
+        tees = [runtime.create_tee(CODE, lpas=[]) for _ in range(15)]
+        with pytest.raises(TeeCreationError):
+            runtime.create_tee(CODE, lpas=[])
+        for tee in tees:
+            runtime.terminate_tee(tee)
+
+    def test_oversized_program_rejected(self):
+        runtime, _ = make_runtime()
+        big = b"\x90" * (600 * KIB)  # over the 528 KB bound
+        with pytest.raises(TeeCreationError):
+            runtime.create_tee(big, lpas=[])
+
+    def test_dram_exhaustion_fails_creation(self):
+        """Paper: creation fails when the program exceeds available DRAM."""
+        runtime, ftl = make_runtime(dram_mib=48, prealloc_mib=16)
+        populate(ftl, [0])
+        runtime.create_tee(CODE, lpas=[0])  # fits (48 - 16 reserved = 32 MB)
+        with pytest.raises(TeeCreationError):
+            runtime.create_tee(CODE, lpas=[])  # second 16 MB prealloc won't fit
+
+    def test_throw_out_aborts_and_releases(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, [0])
+        tee = runtime.create_tee(CODE, lpas=[0])
+        message = runtime.throw_out_tee(tee, "metadata corrupted")
+        assert tee.state is TeeState.ABORTED
+        assert message.reason == "metadata corrupted"
+        assert runtime.aborted == 1
+        assert ftl.mapping.entry_unchecked(0).owner == PUBLIC_ID
+
+    def test_measurement_binds_code(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, [0, 1])
+        t1 = runtime.create_tee(b"\x01" * 100, lpas=[0])
+        t2 = runtime.create_tee(b"\x02" * 100, lpas=[1])
+        assert t1.measurement != t2.measurement
+
+
+class TestTranslation:
+    def test_cached_translation_no_context_switch(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, range(16))
+        tee = runtime.create_tee(CODE, lpas=range(16))
+        runtime.read_mapping_entry(tee, 0)  # cold miss fills the cache
+        switches_before = runtime.context_switches
+        for lpa in range(1, 16):  # same translation page
+            runtime.read_mapping_entry(tee, lpa)
+        assert runtime.context_switches == switches_before
+
+    def test_miss_costs_context_switch(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, [0])
+        tee = runtime.create_tee(CODE, lpas=[0])
+        before = runtime.charged_time
+        runtime.read_mapping_entry(tee, 0)
+        assert runtime.context_switches == 1
+        assert runtime.charged_time - before >= runtime.config.context_switch_time
+
+    def test_translation_returns_correct_ppa(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, [5])
+        tee = runtime.create_tee(CODE, lpas=[5])
+        assert runtime.read_mapping_entry(tee, 5) == ftl.translate(5, tee.eid)
+
+    def test_cross_tee_probe_aborts(self):
+        """§4.3 attack: probing another TEE's entries aborts the prober."""
+        runtime, ftl = make_runtime()
+        populate(ftl, [0, 1])
+        victim = runtime.create_tee(CODE, lpas=[0])
+        attacker = runtime.create_tee(CODE, lpas=[1])
+        with pytest.raises(TeeAbort):
+            runtime.read_mapping_entry(attacker, 0)
+        assert attacker.state is TeeState.ABORTED
+        assert victim.state is TeeState.READY  # victim unaffected
+
+    def test_aborted_tee_cannot_translate(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, [0])
+        tee = runtime.create_tee(CODE, lpas=[0])
+        runtime.throw_out_tee(tee, "test")
+        with pytest.raises(TeeAbort):
+            runtime.read_mapping_entry(tee, 0)
+
+    def test_miss_rate_low_for_sequential_scan(self):
+        """§6.3: sequential in-storage scans show ~0.17% translation misses."""
+        runtime, ftl = make_runtime(cache_kib=1024)
+        lpas = list(range(4096))
+        populate(ftl, lpas)
+        tee = runtime.create_tee(CODE, lpas=lpas)
+        for lpa in lpas:
+            runtime.read_mapping_entry(tee, lpa)
+        assert runtime.translation_miss_rate() <= 0.005
+
+
+class TestTeeHeap:
+    def test_malloc_within_preallocation(self):
+        runtime, ftl = make_runtime()
+        populate(ftl, [0])
+        tee = runtime.create_tee(CODE, lpas=[0])
+        off1 = tee.malloc(1 * MIB)
+        off2 = tee.malloc(2 * MIB)
+        assert off2 == off1 + 1 * MIB
+
+    def test_malloc_exhaustion(self):
+        runtime, ftl = make_runtime(prealloc_mib=1)
+        populate(ftl, [0])
+        tee = runtime.create_tee(CODE, lpas=[0])
+        with pytest.raises(MemoryError):
+            tee.malloc(2 * MIB)
+
+    def test_malloc_before_creation_fails(self):
+        from repro.core.tee import Tee
+        tee = Tee(eid=1, tid=0, code=b"x", lpas=[])
+        with pytest.raises(RuntimeError):
+            tee.malloc(10)

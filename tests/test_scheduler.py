@@ -1,0 +1,156 @@
+"""Tests for the cooperative TEE scheduler and integrity monitor."""
+
+import pytest
+
+from repro.core import IceClaveConfig, IceClaveRuntime, TeeState
+from repro.core.config import MIB
+from repro.core.scheduler import TeeScheduler
+from repro.flash import FlashChip
+from repro.flash.geometry import small_geometry
+from repro.ftl import Ftl
+
+
+def make_runtime():
+    geo = small_geometry(channels=2, chips_per_channel=1, dies_per_chip=1,
+                         planes_per_die=2, blocks_per_plane=8, pages_per_block=8)
+    ftl = Ftl(geo, chip=FlashChip(geo))
+    for lpa in range(32):
+        ftl.write(lpa)
+    config = IceClaveConfig(
+        dram_bytes=256 * MIB, protected_region_bytes=4 * MIB,
+        secure_region_bytes=4 * MIB, tee_preallocation_bytes=2 * MIB,
+    )
+    return IceClaveRuntime(ftl, config=config)
+
+
+def counting_program(upto):
+    def program(tee):
+        total = 0
+        for i in range(upto):
+            total += i
+            yield  # an I/O boundary
+        return str(total).encode()
+    return program
+
+
+class TestScheduling:
+    def test_single_program_completes(self):
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime)
+        tee = runtime.create_tee(b"\x90" * 16, lpas=[0])
+        scheduler.submit(tee, counting_program(10))
+        outcome = scheduler.run()
+        assert outcome.completed[tee.eid] == b"45"
+        assert tee.state is TeeState.COMPLETED
+
+    def test_round_robin_interleaves(self):
+        """Programs make progress together, not one after the other."""
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime, steps_per_turn=2)
+        order = []
+
+        def tracked(tag, steps):
+            def program(tee):
+                for i in range(steps):
+                    order.append(tag)
+                    yield
+                return tag.encode()
+            return program
+
+        a = runtime.create_tee(b"\xaa" * 16, lpas=[0])
+        b = runtime.create_tee(b"\xbb" * 16, lpas=[1])
+        scheduler.submit(a, tracked("a", 6))
+        scheduler.submit(b, tracked("b", 6))
+        outcome = scheduler.run()
+        assert outcome.completed[a.eid] == b"a"
+        assert outcome.completed[b.eid] == b"b"
+        # both tags appear in the first half of the execution order
+        first_half = order[: len(order) // 2]
+        assert "a" in first_half and "b" in first_half
+
+    def test_crashing_program_aborts_only_itself(self):
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime)
+
+        def crasher(tee):
+            yield
+            raise RuntimeError("segfault")
+            yield  # pragma: no cover
+
+        good = runtime.create_tee(b"\x01" * 16, lpas=[0])
+        bad = runtime.create_tee(b"\x02" * 16, lpas=[1])
+        scheduler.submit(good, counting_program(5))
+        scheduler.submit(bad, crasher)
+        outcome = scheduler.run()
+        assert good.eid in outcome.completed
+        assert bad.eid in outcome.aborted
+        assert "segfault" in outcome.aborted[bad.eid]
+        assert bad.state is TeeState.ABORTED
+
+    def test_metadata_corruption_detected(self):
+        """ThrowOutTEE case 2: corrupted TEE metadata aborts the TEE."""
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime, steps_per_turn=1)
+        victim = runtime.create_tee(b"\x03" * 16, lpas=[0])
+
+        def tamper_then_spin(tee):
+            yield
+            tee.lpas.append(31)  # attacker widens its own LPA set
+            for _ in range(10):
+                yield
+            return b"never"
+
+        scheduler.submit(victim, tamper_then_spin)
+        outcome = scheduler.run()
+        assert outcome.aborted[victim.eid] == "TEE metadata corrupted"
+
+    def test_runaway_program_aborted(self):
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime, steps_per_turn=10, max_steps_per_tee=25)
+
+        def infinite(tee):
+            while True:
+                yield
+
+        tee = runtime.create_tee(b"\x04" * 16, lpas=[0])
+        scheduler.submit(tee, infinite)
+        outcome = scheduler.run()
+        assert outcome.aborted[tee.eid] == "step budget exhausted"
+
+    def test_program_without_explicit_result(self):
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime)
+
+        def silent(tee):
+            yield
+
+        tee = runtime.create_tee(b"\x05" * 16, lpas=[0])
+        scheduler.submit(tee, silent)
+        outcome = scheduler.run()
+        assert outcome.completed[tee.eid] == b""
+
+    def test_submit_requires_live_tee(self):
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime)
+        tee = runtime.create_tee(b"\x06" * 16, lpas=[0])
+        runtime.terminate_tee(tee)
+        with pytest.raises(ValueError):
+            scheduler.submit(tee, counting_program(1))
+
+    def test_invalid_budgets_rejected(self):
+        runtime = make_runtime()
+        with pytest.raises(ValueError):
+            TeeScheduler(runtime, steps_per_turn=0)
+
+    def test_fifteen_concurrent_programs(self):
+        runtime = make_runtime()
+        scheduler = TeeScheduler(runtime, steps_per_turn=3)
+        tees = []
+        for i in range(15):
+            tee = runtime.create_tee(bytes([i + 1]) * 16, lpas=[i])
+            scheduler.submit(tee, counting_program(i + 1))
+            tees.append(tee)
+        outcome = scheduler.run()
+        assert len(outcome.completed) == 15
+        for i, tee in enumerate(tees):
+            assert outcome.completed[tee.eid] == str(sum(range(i + 1))).encode()

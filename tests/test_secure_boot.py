@@ -1,0 +1,85 @@
+"""Tests for the secure-boot chain."""
+
+import pytest
+
+from repro.core.secure_boot import (
+    BootRom,
+    FirmwareImage,
+    SecureBootError,
+    VendorSigner,
+)
+
+SECRET = b"vendor-manufacturing-key"
+
+
+def signed_chain(signer=None, version=1):
+    signer = signer or VendorSigner(SECRET)
+    return [
+        signer.sign("bootloader", b"BL" * 100, version),
+        signer.sign("ftl", b"FTL" * 200, version),
+        signer.sign("iceclave-runtime", b"ICR" * 150, version),
+    ]
+
+
+class TestBootChain:
+    def test_genuine_chain_boots(self):
+        rom = BootRom(SECRET)
+        report = rom.boot(signed_chain())
+        assert report.stages == ["bootloader", "ftl", "iceclave-runtime"]
+        assert len(report.chain_measurement()) == 16
+
+    def test_tampered_payload_halts(self):
+        rom = BootRom(SECRET)
+        chain = signed_chain()
+        evil = FirmwareImage("ftl", b"EVIL" * 200, 1, chain[1].signature)
+        chain[1] = evil
+        with pytest.raises(SecureBootError, match="signature"):
+            rom.boot(chain)
+
+    def test_unsigned_vendor_rejected(self):
+        rom = BootRom(SECRET)
+        other = VendorSigner(b"a-counterfeit-vendor-key")
+        with pytest.raises(SecureBootError, match="signature"):
+            rom.boot(signed_chain(signer=other))
+
+    def test_missing_stage_rejected(self):
+        rom = BootRom(SECRET)
+        with pytest.raises(SecureBootError, match="missing"):
+            rom.boot(signed_chain()[:2])
+
+    def test_unknown_stage_rejected(self):
+        rom = BootRom(SECRET)
+        rogue = VendorSigner(SECRET).sign("bootloader", b"x", 1)
+        bad = FirmwareImage("rootkit", rogue.payload, 1, rogue.signature)
+        with pytest.raises(SecureBootError):
+            rom.verify(bad)
+
+    def test_rollback_protection(self):
+        """Once v2 boots, a signed-but-old v1 image no longer boots."""
+        rom = BootRom(SECRET)
+        rom.boot(signed_chain(version=2))
+        with pytest.raises(SecureBootError, match="rolled back"):
+            rom.boot(signed_chain(version=1))
+
+    def test_failed_boot_does_not_advance_rollback_floor(self):
+        rom = BootRom(SECRET)
+        chain = signed_chain(version=3)
+        chain[2] = FirmwareImage("iceclave-runtime", b"EVIL", 3, b"\x00" * 8)
+        with pytest.raises(SecureBootError):
+            rom.boot(chain)
+        # a clean version-2 chain still boots: the partial v3 attempt
+        # must not have committed its floor
+        rom.boot(signed_chain(version=2))
+
+    def test_chain_measurement_binds_every_stage(self):
+        rom = BootRom(SECRET)
+        m1 = rom.boot(signed_chain(version=1)).chain_measurement()
+        signer = VendorSigner(SECRET)
+        chain = signed_chain(version=1)
+        chain[1] = signer.sign("ftl", b"FTL-PATCHED" * 50, 1)
+        m2 = rom.boot(chain).chain_measurement()
+        assert m1 != m2
+
+    def test_weak_vendor_secret_rejected(self):
+        with pytest.raises(ValueError):
+            VendorSigner(b"weak")

@@ -1,0 +1,133 @@
+"""Deep correctness tests: every TPC-H query vs a naive reimplementation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tpch import datagen
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.queries import TpchQ12, TpchQ14, TpchQ19
+
+SCALE = 6_000
+SEED = 13
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(SCALE, seed=SEED)
+
+
+class TestQ12Naive:
+    def test_counts_match(self, data):
+        profile = TpchQ12(scale_rows=SCALE, seed=SEED).run()
+        li, orders = data.lineitem, data.orders
+        year_start = datagen.DAY_1994_01_01
+        priorities = {
+            int(ok): int(p)
+            for ok, p in zip(orders.column("orderkey"), orders.column("orderpriority"))
+        }
+        naive = {}
+        rows = zip(li.column("shipmode"), li.column("commitdate"),
+                   li.column("receiptdate"), li.column("shipdate"),
+                   li.column("orderkey"))
+        for mode, commit, receipt, ship, ok in rows:
+            if int(mode) not in (datagen.SHIPMODE_MAIL, datagen.SHIPMODE_SHIP):
+                continue
+            if not (commit < receipt and ship < commit
+                    and year_start <= receipt < year_start + 365):
+                continue
+            high = priorities[int(ok)] in (0, 1)
+            counts = naive.setdefault(int(mode), [0, 0])
+            counts[0 if high else 1] += 1
+
+        result = profile.answer
+        measured = {
+            int(m): (int(h), int(l))
+            for m, h, l in zip(result.column("shipmode"),
+                               result.column("high_line_count_sum"),
+                               result.column("low_line_count_sum"))
+        }
+        assert measured == {m: tuple(c) for m, c in naive.items()}
+
+
+class TestQ14Naive:
+    def test_promo_ratio_matches(self, data):
+        profile = TpchQ14(scale_rows=SCALE, seed=SEED).run()
+        li, part = data.lineitem, data.part
+        start = datagen.DAY_1995_09_01
+        types = part.column("type")
+        promo = total = 0.0
+        for sd, pk, ep, disc in zip(li.column("shipdate"), li.column("partkey"),
+                                    li.column("extendedprice"), li.column("discount")):
+            if not start <= sd < start + 30:
+                continue
+            revenue = float(ep) * (1 - float(disc))
+            total += revenue
+            if types[int(pk)] < 5:
+                promo += revenue
+        expected = 100.0 * promo / total if total else 0.0
+        measured = float(profile.answer.column("promo_revenue")[0])
+        assert measured == pytest.approx(expected, rel=1e-5)
+
+
+class TestQ19Naive:
+    def test_revenue_matches(self, data):
+        profile = TpchQ19(scale_rows=SCALE, seed=SEED).run()
+        li, part = data.lineitem, data.part
+        brand = part.column("brand")
+        container = part.column("container")
+        size = part.column("size")
+        naive = 0.0
+        rows = zip(li.column("shipmode"), li.column("shipinstruct"),
+                   li.column("quantity"), li.column("partkey"),
+                   li.column("extendedprice"), li.column("discount"))
+        for mode, instr, qty, pk, ep, disc in rows:
+            if int(mode) not in (datagen.SHIPMODE_AIR, datagen.SHIPMODE_AIR_REG):
+                continue
+            if int(instr) != datagen.SHIPINSTRUCT_DELIVER_IN_PERSON:
+                continue
+            if not 1 <= qty <= 30:
+                continue
+            b, c, s = int(brand[int(pk)]), int(container[int(pk)]), int(size[int(pk)])
+            ok = (
+                (b == 12 and c < 2 and 1 <= qty <= 11 and s <= 5)
+                or (b == 23 and c == 2 and 10 <= qty <= 20 and s <= 10)
+                or (b == 34 and c >= 3 and 20 <= qty <= 30 and s <= 15)
+            )
+            if ok:
+                naive += float(ep) * (1 - float(disc))
+        measured = float(profile.answer.column("revenue")[0])
+        assert measured == pytest.approx(naive, rel=1e-4, abs=1e-6)
+
+
+class TestDatagenDistributions:
+    def test_discounts_in_spec_range(self, data):
+        disc = data.lineitem.column("discount")
+        assert float(disc.min()) >= 0.0 and float(disc.max()) <= 0.10 + 1e-6
+
+    def test_quantities_in_spec_range(self, data):
+        qty = data.lineitem.column("quantity")
+        assert float(qty.min()) >= 1 and float(qty.max()) <= 50
+
+    def test_every_lineitem_has_an_order(self, data):
+        assert int(data.lineitem.column("orderkey").max()) < data.orders.num_rows
+
+    def test_every_order_has_a_customer(self, data):
+        assert int(data.orders.column("custkey").max()) < data.customer.num_rows
+
+    def test_mktsegments_roughly_uniform(self, data):
+        seg = data.customer.column("mktsegment")
+        counts = np.bincount(seg, minlength=datagen.SEGMENTS)
+        assert counts.min() > 0.5 * counts.mean()
+
+    def test_shipmodes_cover_all_codes(self, data):
+        modes = set(int(m) for m in data.lineitem.column("shipmode"))
+        assert modes == set(range(datagen.SHIPMODES))
+
+    def test_deterministic_per_seed(self):
+        a = generate(1_000, seed=3)
+        b = generate(1_000, seed=3)
+        assert np.array_equal(a.lineitem.column("extendedprice"),
+                              b.lineitem.column("extendedprice"))
+        c = generate(1_000, seed=4)
+        assert not np.array_equal(a.lineitem.column("extendedprice"),
+                                  c.lineitem.column("extendedprice"))

