@@ -8,6 +8,7 @@ Examples::
     python -m repro compare wordcount --channels 16
     python -m repro sweep channels tpch-q3
     python -m repro sweep dram tpcc
+    python -m repro chaos tpch-q1 --seed 42
 """
 
 from __future__ import annotations
@@ -21,6 +22,15 @@ from repro.platform.schemes import SCHEMES, flash_read_throughput
 from repro.workloads import ALL_WORKLOADS, workload_by_name
 
 GIB = 1 << 30
+DEFAULT_CHAOS_SEED = 42
+
+
+def _make_profile(args: argparse.Namespace):
+    """Instantiate and run the workload, honouring an explicit --seed."""
+    kwargs = {}
+    if getattr(args, "seed", None) is not None:
+        kwargs["seed"] = args.seed
+    return workload_by_name(args.workload, **kwargs).run()
 
 
 def _build_config(args: argparse.Namespace) -> PlatformConfig:
@@ -76,7 +86,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if _check_workload(args.workload) is None:
         return 2
     config = _build_config(args)
-    profile = workload_by_name(args.workload).run()
+    profile = _make_profile(args)
     result = make_platform(args.scheme, config).run(profile)
     print(f"{args.workload} on {args.scheme}: {result.total_time:.2f}s")
     for part, seconds in result.exposed().items():
@@ -91,7 +101,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if _check_workload(args.workload) is None:
         return 2
     config = _build_config(args)
-    profile = workload_by_name(args.workload).run()
+    profile = _make_profile(args)
     results = {s: make_platform(s, config).run(profile) for s in sorted(SCHEMES)}
     host = results["host"]
     print(f"{args.workload}: ({config.channels} channels, "
@@ -107,7 +117,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     if _check_workload(args.workload) is None:
         return 2
-    profile = workload_by_name(args.workload).run()
+    profile = _make_profile(args)
     base = _build_config(args)
     if args.parameter == "channels":
         points = [(f"{ch}ch", base.with_channels(ch)) for ch in (4, 8, 16, 32)]
@@ -126,6 +136,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ice = make_platform("iceclave", cfg).run(profile)
         print(f"{label:>8s} {host.total_time:8.2f}s {isc.total_time:8.2f}s "
               f"{ice.total_time:8.2f}s {ice.speedup_over(host):8.2f}x")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    if _check_workload(args.workload) is None:
+        return 2
+    if args.ops < 10:
+        print("error: chaos needs at least 10 operations (--ops)", file=sys.stderr)
+        return 2
+    from repro.faults import run_chaos
+
+    seed = args.seed if args.seed is not None else DEFAULT_CHAOS_SEED
+    # one workload execution shapes both chaos runs, so the determinism
+    # check below compares the fault machinery alone
+    profile = _make_profile(args)
+    report = run_chaos(args.workload, profile.write_ratio, seed=seed, ops=args.ops)
+    print(report.format())
+    if args.events:
+        print("event log:")
+        for line in report.event_log:
+            print(f"  {line}")
+    repeat = run_chaos(args.workload, profile.write_ratio, seed=seed, ops=args.ops)
+    deterministic = report.fingerprint() == repeat.fingerprint()
+    print(f"deterministic: {'yes' if deterministic else 'NO — runs diverged'}")
+    if not deterministic or report.invariant_violations:
+        return 1
     return 0
 
 
@@ -159,6 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("workload")
     _add_config_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a workload-shaped fault-injection campaign"
+    )
+    chaos.add_argument("workload")
+    chaos.add_argument(
+        "--ops", type=int, default=3000, help="chaos I/O operations (default 3000)"
+    )
+    chaos.add_argument(
+        "--events", "-e", action="store_true", help="print the full fault event log"
+    )
+    _add_config_flags(chaos)
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 
@@ -167,11 +216,17 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dram-gb", type=int, help="SSD DRAM capacity in GB")
     parser.add_argument("--dataset-gb", type=int, help="dataset size in GB (default 32)")
     parser.add_argument("--flash-latency-us", type=float, help="flash read latency")
+    parser.add_argument(
+        "--seed", type=int, help="deterministic seed for workload generation and faults"
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "seed", None) is not None and args.seed < 0:
+        print("error: --seed must be a non-negative integer", file=sys.stderr)
+        return 2
     try:
         return args.func(args)
     except BrokenPipeError:

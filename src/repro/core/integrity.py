@@ -134,6 +134,20 @@ class BonsaiMerkleTree:
         if not 0 <= index < self.leaf_count:
             raise IndexError(f"leaf {index} out of range [0, {self.leaf_count})")
 
+    # -- adversarial surface (fault injection / attack demos) ---------------------
+
+    def corrupt_node(self, level: int, index: int, xor_mask: int = 0x01) -> None:
+        """Flip bits in a DRAM-resident tree node (attacker / DRAM fault).
+
+        The root is on-chip and out of reach; any corrupted path node makes
+        the next :meth:`verify` of a leaf under it raise IntegrityError.
+        """
+        key = (level, index)
+        node = self.dram_nodes.get(key)
+        if node is None:
+            raise KeyError(f"no tree node at level {level} index {index}")
+        self.dram_nodes[key] = bytes([node[0] ^ xor_mask]) + node[1:]
+
     # -- sizing (the paper's footnote: 0.5 MB + 4 MB for 4 GB DRAM) ---------------
 
     def node_count(self) -> int:

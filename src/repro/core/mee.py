@@ -430,6 +430,17 @@ class FunctionalMee:
             m & 0x7F for m in block.minors
         )
 
+    def _line_counter(self, page: int, line: int) -> bytes:
+        """The counter material a line's MAC binds: major + its own minor.
+
+        Binding the whole counter block would invalidate every sibling
+        line's MAC on each write to the page; binding only this line's
+        minor keeps MACs independent while replay of a stale pair still
+        fails (the minor has moved on).
+        """
+        block = self._counters[page]
+        return block.major.to_bytes(8, "big") + bytes([block.minors[line] & 0x7F])
+
     def _otp(self, page: int, line: int, nbytes: int) -> bytes:
         major, minor = (
             self._counters[page].major,
@@ -447,7 +458,7 @@ class FunctionalMee:
         ciphertext = bytes(p ^ k for p, k in zip(plaintext, pad))
         self.dram_ciphertext[(page, line)] = ciphertext
         self.dram_macs[(page, line)] = self._mac.digest(
-            ciphertext, self._serialize_counter(page), bytes([line])
+            ciphertext, self._line_counter(page, line), bytes([line])
         )
         self.tree.update(page, self._serialize_counter(page))
 
@@ -458,9 +469,10 @@ class FunctionalMee:
         stored_mac = self.dram_macs.get((page, line))
         if ciphertext is None or stored_mac is None:
             raise KeyError(f"page {page} line {line} was never written")
-        counter = self._serialize_counter(page)
-        self.tree.verify(page, counter)
-        expected = self._mac.digest(ciphertext, counter, bytes([line]))
+        self.tree.verify(page, self._serialize_counter(page))
+        expected = self._mac.digest(
+            ciphertext, self._line_counter(page, line), bytes([line])
+        )
         if expected != stored_mac:
             raise IntegrityError(f"MAC mismatch on page {page} line {line}")
         pad = self._otp(page, line, len(ciphertext))
@@ -471,3 +483,41 @@ class FunctionalMee:
             raise ValueError(f"page {page} out of range")
         if not 0 <= line < LINES_PER_PAGE:
             raise ValueError(f"line {line} out of range")
+
+    # -- adversarial surface (fault injection / attack demos) ---------------------
+
+    def written_lines(self) -> List[Tuple[int, int]]:
+        """(page, line) pairs currently resident in DRAM, in write order."""
+        return list(self.dram_ciphertext)
+
+    def tamper_ciphertext(self, page: int, line: int, xor_mask: int = 0x01) -> None:
+        """Corrupt a data line in DRAM (caught by its per-line MAC)."""
+        ct = self.dram_ciphertext.get((page, line))
+        if ct is None:
+            raise KeyError(f"page {page} line {line} was never written")
+        self.dram_ciphertext[(page, line)] = bytes([ct[0] ^ xor_mask]) + ct[1:]
+
+    def tamper_mac(self, page: int, line: int, xor_mask: int = 0x01) -> None:
+        """Corrupt a stored MAC in DRAM (verification then fails closed)."""
+        mac = self.dram_macs.get((page, line))
+        if mac is None:
+            raise KeyError(f"page {page} line {line} was never written")
+        self.dram_macs[(page, line)] = bytes([mac[0] ^ xor_mask]) + mac[1:]
+
+    def tamper_counter_tree(self, page: int, xor_mask: int = 0x01) -> None:
+        """Corrupt the Merkle path guarding a page's counter block.
+
+        ``verify`` recomputes the target leaf itself, so the attack lands on
+        a stored *sibling* node of the page's path — replaying or flipping
+        any sibling changes the recomputed root and is detected on the next
+        read of ``page``.
+        """
+        if self.pages < 2:
+            raise ValueError("tree corruption needs at least two counter blocks")
+        parent = page // TREE_ARITY
+        for c in range(TREE_ARITY):
+            sibling = parent * TREE_ARITY + c
+            if sibling != page and (0, sibling) in self.tree.dram_nodes:
+                self.tree.corrupt_node(0, sibling, xor_mask)
+                return
+        raise KeyError(f"page {page} has no stored sibling node to corrupt")

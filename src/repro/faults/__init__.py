@@ -1,0 +1,29 @@
+"""Deterministic fault injection and recovery across the SSD stack.
+
+Seed-reproducible fault plans (:mod:`repro.faults.plan`) are applied by a
+:class:`~repro.faults.injector.FaultInjector` to the flash/FTL/MEE layers,
+while :mod:`repro.faults.recovery` contains integrity violations to the
+affected tenant and :mod:`repro.faults.chaos` drives whole runs under
+``python -m repro chaos``.
+"""
+
+from repro.faults.chaos import ChaosReport, ChaosRunner, run_chaos
+from repro.faults.errors import PowerLossError
+from repro.faults.injector import AppliedFault, FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultPlanConfig
+from repro.faults.recovery import EnclaveIntegrityGuard, TenantEnclave
+
+__all__ = [
+    "AppliedFault",
+    "ChaosReport",
+    "ChaosRunner",
+    "EnclaveIntegrityGuard",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanConfig",
+    "PowerLossError",
+    "TenantEnclave",
+    "run_chaos",
+]

@@ -1,0 +1,17 @@
+"""Exceptions belonging to the fault-injection subsystem."""
+
+from __future__ import annotations
+
+
+class PowerLossError(Exception):
+    """The simulated SSD lost power mid-operation.
+
+    Raised by an armed :class:`~repro.faults.injector.FaultInjector` hook;
+    the FTL itself never raises this — it only leaves whatever partial flash
+    state the cut produced, which
+    :meth:`~repro.ftl.ftl.Ftl.recover_from_power_loss` must repair.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"power lost at {point}")
+        self.point = point

@@ -1,0 +1,120 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seed-reproducible schedule of fault events pinned
+to *operation indices* (not wall-clock time): the Nth logical I/O the chaos
+harness issues triggers the same fault on every run with the same seed.
+That is what makes the acceptance invariant — same seed + plan ⇒ identical
+event log and stats — checkable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List
+
+from repro.crypto.prng import XorShift64
+
+
+class FaultKind(Enum):
+    """The fault classes the injector knows how to apply."""
+
+    READ_BURST = "read_burst"  # transient bit-error burst, ECC+1 retry fixes it
+    UNCORRECTABLE_PAGE = "uncorrectable_page"  # needs deep retry, then scrub
+    HARD_UNCORRECTABLE = "hard_uncorrectable"  # beyond retry: data loss
+    DIE_FAILURE = "die_failure"  # a whole die goes dark
+    DRAM_CORRUPTION = "dram_corruption"  # counter/Merkle/MAC bits flip in DRAM
+    POWER_LOSS = "power_loss"  # clean cut between operations
+    POWER_LOSS_MID_GC = "power_loss_mid_gc"  # cut lands inside a GC relocation
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: fires just before operation ``op_index``."""
+
+    op_index: int
+    kind: FaultKind
+    # deterministic per-event parameter (die number, tenant pick, error
+    # magnitude scale...); meaning depends on the kind
+    param: int = 0
+
+    def describe(self) -> str:
+        return f"op={self.op_index} kind={self.kind.value} param={self.param}"
+
+
+@dataclass(frozen=True)
+class FaultPlanConfig:
+    """How many faults of each class to schedule across a run."""
+
+    read_bursts: int = 6
+    uncorrectable_pages: int = 3
+    hard_uncorrectables: int = 1
+    die_failures: int = 1
+    dram_corruptions: int = 2
+    power_losses: int = 1
+    power_losses_mid_gc: int = 1
+
+    def total(self) -> int:
+        return (
+            self.read_bursts
+            + self.uncorrectable_pages
+            + self.hard_uncorrectables
+            + self.die_failures
+            + self.dram_corruptions
+            + self.power_losses
+            + self.power_losses_mid_gc
+        )
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, deterministic schedule of :class:`FaultEvent`."""
+
+    seed: int
+    total_ops: int
+    events: List[FaultEvent] = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        total_ops: int,
+        config: FaultPlanConfig = FaultPlanConfig(),
+    ) -> "FaultPlan":
+        """Sample a schedule from the seed; same inputs ⇒ same plan."""
+        if total_ops < 1:
+            raise ValueError("need at least one operation to schedule against")
+        rng = XorShift64(seed or 1)
+        events: List[FaultEvent] = []
+        # leave the first tenth of the run fault-free so there is committed
+        # state worth corrupting, and the last op free so recovery is observed
+        low = max(1, total_ops // 10)
+        span = max(1, total_ops - 1 - low)
+
+        def schedule(count: int, kind: FaultKind) -> None:
+            for _ in range(count):
+                op = low + rng.next_below(span)
+                events.append(FaultEvent(op, kind, param=rng.next_below(1 << 16)))
+
+        schedule(config.read_bursts, FaultKind.READ_BURST)
+        schedule(config.uncorrectable_pages, FaultKind.UNCORRECTABLE_PAGE)
+        schedule(config.hard_uncorrectables, FaultKind.HARD_UNCORRECTABLE)
+        schedule(config.die_failures, FaultKind.DIE_FAILURE)
+        schedule(config.dram_corruptions, FaultKind.DRAM_CORRUPTION)
+        schedule(config.power_losses, FaultKind.POWER_LOSS)
+        schedule(config.power_losses_mid_gc, FaultKind.POWER_LOSS_MID_GC)
+        events.sort(key=lambda e: (e.op_index, e.kind.value, e.param))
+        return cls(seed=seed, total_ops=total_ops, events=events)
+
+    def due(self, op_index: int) -> List[FaultEvent]:
+        """Events scheduled for exactly this operation index."""
+        return [e for e in self.events if e.op_index == op_index]
+
+    def by_kind(self) -> Dict[FaultKind, int]:
+        counts: Dict[FaultKind, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def describe(self) -> List[str]:
+        return [e.describe() for e in self.events]

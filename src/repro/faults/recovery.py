@@ -1,0 +1,126 @@
+"""Recovery policies layered on top of the protection machinery.
+
+The flash-level pieces (escalating read retry, remap-on-uncorrectable,
+power-loss rebuild) live with the FTL so the normal read/write path can use
+them; this module adds the piece that is IceClave-specific: *blast-radius
+containment* for memory-integrity violations. A MAC mismatch or Merkle
+failure in one tenant's protected DRAM aborts that tenant's enclave via
+ThrowOutTEE semantics (§4.5) — the SSD itself, and every other tenant, keep
+running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exceptions import IntegrityError
+from repro.core.mee import FunctionalMee
+from repro.core.tee import TeeMessage
+from repro.sim.stats import ReliabilityStats
+
+
+@dataclass
+class TenantEnclave:
+    """One tenant's in-storage enclave with functionally protected DRAM."""
+
+    tee_id: int
+    mee: FunctionalMee
+    aes_key: bytes
+    mac_key: bytes
+    pages: int
+    generation: int = 0  # bumped every abort/restart
+    aborted: bool = False
+    abort_message: Optional[TeeMessage] = None
+    lines_written: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class EnclaveIntegrityGuard:
+    """Per-tenant integrity-violation handling.
+
+    Reads go through the tenant's :class:`FunctionalMee`; a detected
+    violation (tamper or replay) aborts *only* that tenant — the guard
+    records the ThrowOutTEE message, provisions a fresh enclave generation,
+    and leaves every other tenant untouched. This is the recovery half of
+    the paper's integrity claim: detection is the MEE's job, containment is
+    ours.
+    """
+
+    def __init__(self, stats: Optional[ReliabilityStats] = None) -> None:
+        self.tenants: Dict[int, TenantEnclave] = {}
+        self.stats = stats or ReliabilityStats()
+        self.abort_log: List[TeeMessage] = []
+
+    def register(
+        self, tee_id: int, pages: int, aes_key: bytes, mac_key: bytes
+    ) -> TenantEnclave:
+        if tee_id in self.tenants:
+            raise ValueError(f"tenant {tee_id} already registered")
+        tenant = TenantEnclave(
+            tee_id=tee_id,
+            mee=FunctionalMee(pages, aes_key, mac_key),
+            aes_key=aes_key,
+            mac_key=mac_key,
+            pages=pages,
+        )
+        self.tenants[tee_id] = tenant
+        return tenant
+
+    def write(self, tee_id: int, page: int, line: int, plaintext: bytes) -> None:
+        tenant = self.tenants[tee_id]
+        tenant.mee.write_line(page, line, plaintext)
+        if (page, line) not in tenant.lines_written:
+            tenant.lines_written.append((page, line))
+
+    def read(self, tee_id: int, page: int, line: int) -> Optional[bytes]:
+        """Verified read; returns None when the violation aborted the tenant."""
+        tenant = self.tenants[tee_id]
+        try:
+            return tenant.mee.read_line(page, line)
+        except IntegrityError as exc:
+            self._abort(tenant, str(exc))
+            return None
+
+    def sweep(self) -> List[TeeMessage]:
+        """Re-verify every tenant's resident lines; abort the violated ones.
+
+        Returns the abort messages issued by this sweep. Tenants whose
+        lines all verify are untouched — corruption in one tenant's DRAM
+        must never take a neighbour down.
+        """
+        aborts: List[TeeMessage] = []
+        for tenant in self.tenants.values():
+            if tenant.aborted:
+                continue
+            for page, line in tenant.lines_written:
+                try:
+                    tenant.mee.read_line(page, line)
+                except IntegrityError as exc:
+                    self._abort(tenant, str(exc))
+                    aborts.append(tenant.abort_message)
+                    break
+        return aborts
+
+    def restart(self, tee_id: int) -> TenantEnclave:
+        """Provision a fresh enclave generation after an abort."""
+        tenant = self.tenants[tee_id]
+        if not tenant.aborted:
+            raise ValueError(f"tenant {tee_id} is not aborted")
+        tenant.mee = FunctionalMee(tenant.pages, tenant.aes_key, tenant.mac_key)
+        tenant.lines_written = []
+        tenant.generation += 1
+        tenant.aborted = False
+        tenant.abort_message = None
+        return tenant
+
+    def live_tenants(self) -> List[int]:
+        return sorted(t for t, e in self.tenants.items() if not e.aborted)
+
+    def _abort(self, tenant: TenantEnclave, reason: str) -> None:
+        tenant.aborted = True
+        tenant.abort_message = TeeMessage(tee_id=tenant.tee_id, reason=reason)
+        self.abort_log.append(tenant.abort_message)
+        self.stats.integrity_violations += 1
+        self.stats.tenant_aborts += 1
+        # the SSD (and every other tenant) survives: containment worked
+        self.stats.faults_recovered += 1

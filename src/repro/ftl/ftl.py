@@ -9,15 +9,42 @@ discrete-event device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.flash.chip import FlashChip
+from repro.flash.ecc import EccModel, EccUncorrectableError, ReadRetryPolicy
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.gc import GarbageCollector, GcResult
 from repro.ftl.mapping import MappingTable, PUBLIC_ID
-from repro.ftl.page_allocator import PageAllocator
+from repro.ftl.page_allocator import OutOfSpaceError, PageAllocator
 from repro.ftl.wear_leveling import WearLeveler
+from repro.sim.stats import ReliabilityStats
+
+
+class UncorrectableReadError(Exception):
+    """A logical read failed permanently (ECC exhausted or die gone).
+
+    The mapping entry has already been dropped; callers translate this into
+    an NVMe unrecovered-read-error status rather than crashing the device.
+    """
+
+    def __init__(self, lpa: int, ppa: int, reason: str) -> None:
+        super().__init__(f"LPA {lpa} (PPA {ppa}) unreadable: {reason}")
+        self.lpa = lpa
+        self.ppa = ppa
+        self.reason = reason
+
+
+@dataclass
+class RecoveryReport:
+    """What one power-loss recovery pass rebuilt."""
+
+    pages_scanned: int = 0
+    mappings_recovered: int = 0
+    stale_copies_discarded: int = 0
+    translation_pages_scanned: int = 0
+    scan_latency: float = 0.0
 
 
 @dataclass
@@ -29,6 +56,9 @@ class FtlOpCost:
     block_erases: int = 0
     ppa: Optional[int] = None  # resulting physical page for read/write
     gc: Optional[GcResult] = None
+    read_retries: int = 0
+    remapped: bool = False
+    added_latency: float = 0.0
 
 
 @dataclass
@@ -77,6 +107,29 @@ class Ftl:
         self._dirty_translation_pages: set = set()
         self.translation_writeback_batch = 64
         self.stats = FtlStats()
+        # optional reliability machinery (see attach_reliability)
+        self.ecc: Optional[EccModel] = None
+        self.retry_policy: Optional[ReadRetryPolicy] = None
+        self.reliability: Optional[ReliabilityStats] = None
+        # modelled cost of scanning one page's OOB during recovery
+        self.recovery_scan_latency_per_page = 25e-6
+
+    def attach_reliability(
+        self,
+        ecc: Optional[EccModel] = None,
+        retry_policy: Optional[ReadRetryPolicy] = None,
+        reliability: Optional[ReliabilityStats] = None,
+    ) -> None:
+        """Enable the fault-tolerant read path (:mod:`repro.faults`).
+
+        With an :class:`EccModel` attached every read is decoded; initially
+        uncorrectable pages go through the escalating ``retry_policy`` and,
+        when recovered, are scrubbed to a fresh physical page
+        (remap-on-uncorrectable). ``reliability`` collects the counters.
+        """
+        self.ecc = ecc
+        self.retry_policy = retry_policy or ReadRetryPolicy()
+        self.reliability = reliability or ReliabilityStats()
 
     # -- logical operations ------------------------------------------------
 
@@ -92,10 +145,21 @@ class Ftl:
         protect neighbouring cells, and the refresh cost is reported.
         """
         ppa = self.translate(lpa, tee_id)
+        cost = FtlOpCost(page_reads=1, ppa=ppa)
+        if self.chip.failed_dies and self.chip.die_failed(ppa):
+            # the die is gone and there is no redundancy: committed data on
+            # it is lost. Drop the mapping so the host sees a stable error.
+            self.mapping.unmap(lpa)
+            if self.reliability is not None:
+                self.reliability.faults_fatal += 1
+            raise UncorrectableReadError(lpa, ppa, "die failure")
         if self.chip.store_data:
             self.chip.read(ppa)
+        if self.ecc is not None:
+            self._decode_read(lpa, ppa, cost)
         self.stats.host_reads += 1
-        cost = FtlOpCost(page_reads=1, ppa=ppa)
+        # disturb accounting charges the block whose cells were sensed (the
+        # original page, even if the data was scrubbed elsewhere afterwards)
         block = self.geometry.block_of(ppa)
         self._block_read_counts[block] = self._block_read_counts.get(block, 0) + 1
         if self._block_read_counts[block] >= self.read_disturb_threshold:
@@ -104,6 +168,146 @@ class Ftl:
             cost.page_programs += moved
             cost.block_erases += 1
         return cost
+
+    def _decode_read(self, lpa: int, ppa: int, cost: FtlOpCost) -> None:
+        """ECC-decode a page read; retry, scrub, or fail permanently.
+
+        - clean/correctable: errors fixed inline, nothing else happens;
+        - initially uncorrectable but recovered by escalating read retries:
+          the data is scrubbed to a fresh physical page so the weak cells
+          leave service (remap-on-uncorrectable);
+        - unrecoverable: the mapping entry is dropped and
+          :class:`UncorrectableReadError` propagates to the host path.
+        """
+        rel = self.reliability
+        wear = self.chip.wear_of(self.geometry.block_of(ppa))
+        try:
+            corrected = self.ecc.check_read(wear)
+            if rel is not None:
+                rel.errors_corrected += corrected
+            return
+        except EccUncorrectableError:
+            pass
+        try:
+            outcome = self.retry_policy.recover(self.ecc)
+        except EccUncorrectableError as exc:
+            if rel is not None:
+                rel.read_retries += self.retry_policy.max_retries
+                rel.added_latency_s += self.retry_policy.worst_case_latency()
+                rel.faults_fatal += 1
+            self.mapping.unmap(lpa)
+            self.chip.invalidate(ppa)
+            raise UncorrectableReadError(lpa, ppa, str(exc)) from exc
+        cost.read_retries = outcome.retries
+        cost.page_reads += outcome.retries
+        cost.added_latency += outcome.added_latency
+        if rel is not None:
+            rel.read_retries += outcome.retries
+            rel.errors_corrected += outcome.corrected_bits
+            rel.faults_recovered += 1
+            rel.added_latency_s += outcome.added_latency
+        new_ppa = self._remap(lpa, ppa)
+        if new_ppa is not None:
+            cost.page_programs += 1
+            cost.remapped = True
+            cost.ppa = new_ppa
+            if rel is not None:
+                rel.remaps += 1
+
+    def _remap(self, lpa: int, ppa: int) -> Optional[int]:
+        """Scrub a marginal page: rewrite its data at a fresh location."""
+        entry = self.mapping.entry_unchecked(lpa)
+        owner = entry.owner if entry is not None else PUBLIC_ID
+        data = self.chip.read(ppa) if self.chip.store_data else None
+        try:
+            new_ppa = self.allocator.allocate()
+        except OutOfSpaceError:
+            return None  # keep serving from the marginal page; GC will help
+        self.chip.program(new_ppa, data, lpa=lpa, owner=owner)
+        self.chip.invalidate(ppa)
+        self.mapping.update(lpa, new_ppa)
+        return new_ppa
+
+    # -- die failures ----------------------------------------------------------
+
+    def quarantine_die(self, die: int, drop_mappings: bool = True) -> int:
+        """Take a failed die out of service; returns mappings lost with it.
+
+        The allocator stops placing data on the die's planes. With
+        ``drop_mappings`` the committed pages stranded on the die are
+        unmapped immediately (scan once, fail fast) instead of erroring
+        lazily read-by-read.
+        """
+        ppd = self.geometry.planes_per_die
+        self.allocator.quarantine_planes(range(die * ppd, (die + 1) * ppd))
+        if not drop_mappings:
+            return 0
+        lost = [
+            lpa
+            for lpa, entry in list(self.mapping.items())
+            if self.chip.die_of_ppa(entry.ppa) == die
+        ]
+        for lpa in lost:
+            self.mapping.unmap(lpa)
+        return len(lost)
+
+    # -- power loss --------------------------------------------------------------
+
+    def recover_from_power_loss(self) -> RecoveryReport:
+        """Rebuild every DRAM-resident structure after a power cut.
+
+        The mapping table, read-disturb counts, dirty-translation set and
+        allocator cursors all live in (lost) SSD DRAM. Flash state survives,
+        and every data page's OOB area names its LPA, owner and a monotonic
+        write sequence number — so the mapping is rebuilt by journal replay:
+        scan all surviving pages, keep the newest copy of each LPA, and
+        invalidate stale duplicates a power cut mid-GC may have left behind.
+        With a DFTL store attached its GTD is recovered the same way
+        (:meth:`~repro.ftl.translation_store.TranslationStore.recover`).
+        """
+        report = RecoveryReport()
+        self._block_read_counts.clear()
+        self._dirty_translation_pages.clear()
+        self.mapping.clear()
+        from repro.flash.chip import PageState
+
+        best: Dict[int, Tuple[int, int, int]] = {}  # lpa -> (seq, ppa, owner)
+        stale: List[int] = []
+        reserved = set(self.translation_store.blocks) if self.translation_store else set()
+        for block in range(self.geometry.total_blocks):
+            if block in reserved or self.chip.block_on_failed_die(block):
+                continue
+            if self.chip.write_cursor(block) == 0:
+                continue  # pristine block: nothing to scan
+            for ppa in self.chip.pages_of_block(block):
+                if self.chip.page_state(ppa) is not PageState.VALID:
+                    continue
+                oob = self.chip.oob_of(ppa)
+                report.pages_scanned += 1
+                if oob is None or not 0 <= oob.lpa < self.logical_pages:
+                    continue
+                prev = best.get(oob.lpa)
+                if prev is None or oob.seq > prev[0]:
+                    if prev is not None:
+                        stale.append(prev[1])
+                    best[oob.lpa] = (oob.seq, ppa, oob.owner)
+                else:
+                    stale.append(ppa)
+        for ppa in stale:
+            self.chip.invalidate(ppa)
+        for lpa, (_, ppa, owner) in best.items():
+            self.mapping.update(lpa, ppa, owner=owner)
+        report.mappings_recovered = len(best)
+        report.stale_copies_discarded = len(stale)
+        self.allocator.rebuild_from_chip(exclude_blocks=reserved)
+        if self.translation_store is not None:
+            report.translation_pages_scanned = self.translation_store.recover()
+        report.scan_latency = report.pages_scanned * self.recovery_scan_latency_per_page
+        if self.reliability is not None:
+            self.reliability.power_loss_recoveries += 1
+            self.reliability.faults_recovered += 1
+            self.reliability.added_latency_s += report.scan_latency
+        return report
 
     def _refresh_block(self, block: int) -> int:
         """Read-disturb refresh: rewrite valid pages, erase the block."""
@@ -119,7 +323,13 @@ class Ftl:
             lpa = self.mapping.lpa_of_ppa(ppa)
             data = self.chip.read(ppa)
             new_ppa = self.allocator.allocate()
-            self.chip.program(new_ppa, data if self.chip.store_data else None)
+            old_oob = self.chip.oob_of(ppa)
+            self.chip.program(
+                new_ppa,
+                data if self.chip.store_data else None,
+                lpa=lpa,
+                owner=old_oob.owner if old_oob is not None else PUBLIC_ID,
+            )
             self.chip.invalidate(ppa)
             if lpa is not None:
                 self.mapping.update(lpa, new_ppa)
@@ -152,7 +362,11 @@ class Ftl:
             raise ValueError(f"LPA {lpa} out of range [0, {self.logical_pages})")
         cost = FtlOpCost()
         new_ppa = self.allocator.allocate()
-        self.chip.program(new_ppa, data if self.chip.store_data else None)
+        prev = self.mapping.entry_unchecked(lpa)
+        oob_owner = owner if owner is not None else (prev.owner if prev else PUBLIC_ID)
+        self.chip.program(
+            new_ppa, data if self.chip.store_data else None, lpa=lpa, owner=oob_owner
+        )
         cost.page_programs += 1
         old_ppa = self.mapping.update(lpa, new_ppa, owner=owner)
         if old_ppa is not None:

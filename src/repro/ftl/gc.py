@@ -55,6 +55,9 @@ class GarbageCollector:
         self.invocations = 0
         self.total_relocations = 0
         self.total_erases = 0
+        # fault-injection hook (repro.faults): called at the labelled points
+        # inside _reclaim so a power cut can land mid-collection
+        self.fault_hook = None
 
     def needs_gc(self, plane: int) -> bool:
         return self.allocator.free_blocks_in_plane(plane) <= self.free_block_watermark
@@ -108,12 +111,26 @@ class GarbageCollector:
             data = self.chip.read(ppa)
             # allocate on a different plane if this one is exhausted
             new_ppa = self.allocator.allocate()
-            self.chip.program(new_ppa, data if self.chip.store_data else None)
+            old_oob = self.chip.oob_of(ppa)
+            self.chip.program(
+                new_ppa,
+                data if self.chip.store_data else None,
+                lpa=lpa,
+                owner=old_oob.owner if old_oob is not None else 0,
+            )
+            if self.fault_hook is not None:
+                # both copies are VALID right now; a power cut here leaves a
+                # duplicate that recovery must resolve by sequence number
+                self.fault_hook("gc_mid_relocate")
             self.chip.invalidate(ppa)
             if lpa is not None:
                 self.mapping.update(lpa, new_ppa)
             result.relocated.append((ppa, new_ppa))
             moved += 1
+            if self.fault_hook is not None:
+                self.fault_hook("gc_relocate")
+        if self.fault_hook is not None:
+            self.fault_hook("gc_pre_erase")
         self.chip.erase(victim)
         self.allocator.release_block(victim)
         result.victims.append(victim)

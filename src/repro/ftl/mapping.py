@@ -92,6 +92,15 @@ class MappingTable:
         self._reverse[ppa] = lpa
         return old_ppa
 
+    def clear(self) -> None:
+        """Drop every entry (power loss: the table is DRAM-resident).
+
+        Mutates in place so components holding a reference to the table
+        (GC, wear leveler) observe the rebuilt state after recovery.
+        """
+        self._forward.clear()
+        self._reverse.clear()
+
     def unmap(self, lpa: int) -> Optional[int]:
         """Remove a mapping (trim); returns the freed PPA if there was one."""
         self._check_lpa(lpa)

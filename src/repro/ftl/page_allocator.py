@@ -9,9 +9,9 @@ GC refills.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Iterable, List, Optional, Set
 
-from repro.flash.chip import FlashChip
+from repro.flash.chip import FlashChip, PageState
 from repro.flash.geometry import FlashGeometry
 
 
@@ -28,6 +28,7 @@ class PageAllocator:
         self._free_blocks: List[Deque[int]] = []
         self._active_block: List[Optional[int]] = []
         self._next_page: List[int] = []
+        self._quarantined: Set[int] = set()  # planes on failed dies
         self._plane_rr = 0
         blocks_per_plane = geometry.blocks_per_plane
         for plane in range(geometry.total_planes):
@@ -41,6 +42,8 @@ class PageAllocator:
     # -- free-block accounting ---------------------------------------------
 
     def free_blocks_in_plane(self, plane: int) -> int:
+        if plane in self._quarantined:
+            return 0
         count = len(self._free_blocks[plane])
         if self._active_block[plane] is not None:
             count += 1  # the active block still has room until it fills
@@ -54,6 +57,8 @@ class PageAllocator:
     def release_block(self, block: int) -> None:
         """Return an erased block to its plane's free pool."""
         plane = block // self.geometry.blocks_per_plane
+        if plane in self._quarantined:
+            return  # the die is gone; never hand its blocks out again
         if block in self._free_blocks[plane] or self._active_block[plane] == block:
             raise ValueError(f"block {block} is already free")
         self._free_blocks[plane].append(block)
@@ -78,6 +83,66 @@ class PageAllocator:
         pool.remove(best)
         return best
 
+    # -- fault handling ----------------------------------------------------------
+
+    def quarantine_planes(self, planes: Iterable[int]) -> int:
+        """Stop allocating in ``planes`` (their die failed); returns blocks lost."""
+        lost = 0
+        for plane in planes:
+            if not 0 <= plane < self.geometry.total_planes:
+                raise ValueError(f"plane {plane} out of range")
+            if plane in self._quarantined:
+                continue
+            self._quarantined.add(plane)
+            lost += len(self._free_blocks[plane])
+            self._free_blocks[plane].clear()
+            if self._active_block[plane] is not None:
+                self._active_block[plane] = None
+                lost += 1
+        return lost
+
+    def quarantined_planes(self) -> Set[int]:
+        return set(self._quarantined)
+
+    def rebuild_from_chip(self, exclude_blocks: Optional[Set[int]] = None) -> None:
+        """Reconstruct allocator state by scanning the chip (power-loss path).
+
+        Blocks whose write cursor is 0 return to the free pool; the
+        partially-programmed block with the most free tail pages becomes the
+        plane's active block (real FTLs pad the others closed — their free
+        tail is unreachable until GC erases them). Quarantined planes and
+        ``exclude_blocks`` (e.g. translation-store reservations) are skipped.
+        """
+        exclude = exclude_blocks or set()
+        bpp = self.geometry.blocks_per_plane
+        ppb = self.geometry.pages_per_block
+        for plane in range(self.geometry.total_planes):
+            self._free_blocks[plane].clear()
+            self._active_block[plane] = None
+            self._next_page[plane] = 0
+            if plane in self._quarantined:
+                continue
+            best_partial = None
+            best_free_tail = 0
+            for block in range(plane * bpp, (plane + 1) * bpp):
+                if block in exclude:
+                    continue
+                cursor = self.chip.write_cursor(block)
+                if cursor == 0:
+                    self._free_blocks[plane].append(block)
+                elif cursor < ppb:
+                    # the free tail must really be free (cursor is authoritative,
+                    # but cheap to sanity-check on the page right at the cursor)
+                    pages = self.chip.pages_of_block(block)
+                    if self.chip.page_state(pages[cursor]) is PageState.FREE:
+                        if ppb - cursor > best_free_tail:
+                            best_free_tail = ppb - cursor
+                            best_partial = block
+            if best_partial is not None:
+                self._active_block[plane] = best_partial
+                self._next_page[plane] = ppb - best_free_tail
+        self._plane_rr = 0
+
     # -- allocation ------------------------------------------------------------
 
     def allocate(self, plane: Optional[int] = None) -> int:
@@ -88,6 +153,8 @@ class PageAllocator:
         """
         if plane is None:
             plane = self._pick_plane()
+        if plane in self._quarantined:
+            raise OutOfSpaceError(f"plane {plane} is quarantined (die failure)")
         if self._active_block[plane] is None:
             block = self.least_worn_free_block(plane)
             if block is None:

@@ -30,6 +30,8 @@ class TranslationStats:
     page_writes: int = 0  # dirty translation pages written back
     gc_relocations: int = 0
     block_erases: int = 0
+    recoveries: int = 0  # GTD rebuilds after power loss
+    recovery_scanned_pages: int = 0
 
 
 class TranslationStore:
@@ -144,6 +146,47 @@ class TranslationStore:
         self.directory[tpage] = new_ppa
         self.stats.page_writes += 1
         return new_ppa
+
+    # -- power-loss recovery -----------------------------------------------------
+
+    def recover(self) -> int:
+        """Rebuild placement state after power loss; returns pages scanned.
+
+        The GTD itself is recovered by scanning the reserved blocks (each
+        translation page's flash copy names its translation-page number in
+        the spare area, so the newest copy per page wins — the same
+        journal-replay argument the data path uses). The volatile placement
+        cursors are re-derived from the chip's write cursors: the reserved
+        block with free tail pages becomes the active log head.
+        """
+        scanned = 0
+        self._free_blocks.clear()
+        active = None
+        active_cursor = 0
+        for block in self.blocks:
+            cursor = self.chip.write_cursor(block)
+            scanned += cursor
+            if cursor == 0:
+                self._free_blocks.add(block)
+            elif cursor < self.geometry.pages_per_block and active is None:
+                active, active_cursor = block, cursor
+        if active is None:
+            # every written block is full: open a free one as the log head
+            active = min(self._free_blocks) if self._free_blocks else self.blocks[0]
+            self._free_blocks.discard(active)
+            active_cursor = self.chip.write_cursor(active)
+        self._active_idx = self.blocks.index(active)
+        self._next_page = active_cursor
+        # entries whose flash copy did not survive (e.g. erased mid-GC by the
+        # power cut) are dropped; the FTL re-synthesizes them on next miss
+        self.directory = {
+            t: p
+            for t, p in self.directory.items()
+            if self.chip.page_state(p) is PageState.VALID
+        }
+        self.stats.recoveries += 1
+        self.stats.recovery_scanned_pages += scanned
+        return scanned
 
     def resident_pages(self) -> int:
         return len(self.directory)

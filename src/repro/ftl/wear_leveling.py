@@ -64,6 +64,8 @@ class WearLeveler:
         best = None
         best_wear = None
         for block in range(self.geometry.total_blocks):
+            if self.chip.block_on_failed_die(block):
+                continue  # unreadable and unerasable; nothing to level
             if self.chip.valid_pages_in_block(block) == 0:
                 continue
             if self.allocator.is_active_block(block):
@@ -94,7 +96,13 @@ class WearLeveler:
             lpa = self.mapping.lpa_of_ppa(ppa)
             data = self.chip.read(ppa)
             new_ppa = self.allocator.allocate()
-            self.chip.program(new_ppa, data if self.chip.store_data else None)
+            old_oob = self.chip.oob_of(ppa)
+            self.chip.program(
+                new_ppa,
+                data if self.chip.store_data else None,
+                lpa=lpa,
+                owner=old_oob.owner if old_oob is not None else 0,
+            )
             self.chip.invalidate(ppa)
             if lpa is not None:
                 self.mapping.update(lpa, new_ppa)

@@ -18,8 +18,13 @@ the platform layer assumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from enum import IntEnum
+from typing import Callable, List, Optional
 
+from repro.flash.chip import DieFailureError
+from repro.flash.ecc import EccUncorrectableError
+from repro.ftl.ftl import UncorrectableReadError
+from repro.ftl.mapping import AccessDeniedError
 from repro.host.pcie import PcieLink
 from repro.sim.engine import Engine
 from repro.sim.resource import Resource
@@ -27,6 +32,42 @@ from repro.sim.stats import Histogram
 
 SQ_ENTRY_BYTES = 64
 CQ_ENTRY_BYTES = 16
+
+
+class NvmeStatus(IntEnum):
+    """Completion status codes (NVMe-style SCT/SC encodings).
+
+    Media errors use the spec's media/data-integrity status code type
+    (SCT=2h): 81h Unrecovered Read Error, 80h Write Fault, 86h Access
+    Denied. 06h is the generic Internal Error.
+    """
+
+    SUCCESS = 0x000
+    INTERNAL_ERROR = 0x006
+    WRITE_FAULT = 0x280
+    UNRECOVERED_READ_ERROR = 0x281
+    ACCESS_DENIED = 0x286
+    LBA_OUT_OF_RANGE = 0x080
+
+    @property
+    def is_error(self) -> bool:
+        return self is not NvmeStatus.SUCCESS
+
+
+def status_for_exception(exc: BaseException) -> NvmeStatus:
+    """Map a storage-stack exception onto the NVMe status the host sees.
+
+    Anything the flash→FTL path can legitimately raise at runtime becomes a
+    per-command error status instead of crashing the device model; truly
+    unexpected exceptions should not be fed through here.
+    """
+    if isinstance(exc, (EccUncorrectableError, UncorrectableReadError, DieFailureError)):
+        return NvmeStatus.UNRECOVERED_READ_ERROR
+    if isinstance(exc, AccessDeniedError):
+        return NvmeStatus.ACCESS_DENIED
+    if isinstance(exc, KeyError):
+        return NvmeStatus.LBA_OUT_OF_RANGE  # read of an unmapped LPA
+    return NvmeStatus.INTERNAL_ERROR
 
 
 @dataclass(frozen=True)
@@ -43,12 +84,17 @@ class NvmeCommand:
     nbytes: int
     submitted_at: float = 0.0
     completed_at: Optional[float] = None
+    status: NvmeStatus = NvmeStatus.SUCCESS
 
     @property
     def latency(self) -> Optional[float]:
         if self.completed_at is None:
             return None
         return self.completed_at - self.submitted_at
+
+    @property
+    def failed(self) -> bool:
+        return self.status.is_error
 
 
 class NvmeQueuePair:
@@ -74,9 +120,24 @@ class NvmeQueuePair:
         self._waiting: List = []
         self.completed: List[NvmeCommand] = []
         self.latency = Histogram("nvme-latency", keep_samples=True)
+        self.error_completions = 0
 
-    def submit(self, opcode: str, nbytes: int, on_done=None) -> NvmeCommand:
-        """Submit one command; completion recorded on the command object."""
+    def submit(
+        self,
+        opcode: str,
+        nbytes: int,
+        on_done=None,
+        device_op: Optional[Callable[[], None]] = None,
+    ) -> NvmeCommand:
+        """Submit one command; completion recorded on the command object.
+
+        ``device_op`` models the storage-side work behind the command (an
+        FTL read, say). If it raises one of the storage stack's runtime
+        errors — uncorrectable ECC, a failed die, a permission denial — the
+        command completes with the corresponding NVMe error status rather
+        than crashing the simulation; the host sees a failed CQ entry,
+        exactly as a real controller reports media errors.
+        """
         if opcode not in ("read", "write"):
             raise ValueError(f"unsupported opcode {opcode}")
         if nbytes < 0:
@@ -89,6 +150,18 @@ class NvmeQueuePair:
             transfer = self.link.transfer_time(nbytes + SQ_ENTRY_BYTES + CQ_ENTRY_BYTES)
 
             def media_done() -> None:
+                if device_op is not None:
+                    try:
+                        device_op()
+                    except (
+                        EccUncorrectableError,
+                        UncorrectableReadError,
+                        DieFailureError,
+                        AccessDeniedError,
+                        KeyError,
+                    ) as exc:
+                        command.status = status_for_exception(exc)
+                        self.error_completions += 1
                 # data moves over the shared link, then the CQ/interrupt path
                 def link_done() -> None:
                     self.engine.schedule(

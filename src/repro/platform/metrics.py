@@ -20,6 +20,15 @@ class RunResult:
     total_time: float
     components: Dict[str, float] = field(default_factory=dict)
     stats: Dict[str, float] = field(default_factory=dict)
+    # fault-injection/recovery counters (empty for fault-free runs); filled
+    # by the chaos harness from sim.stats.ReliabilityStats.as_dict()
+    reliability: Dict[str, float] = field(default_factory=dict)
+
+    def record_reliability(self, reliability_stats) -> None:
+        """Attach a :class:`~repro.sim.stats.ReliabilityStats` snapshot."""
+        self.reliability = {
+            k: float(v) for k, v in reliability_stats.as_dict().items()
+        }
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (>1 = faster)."""

@@ -3,7 +3,44 @@
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class ReliabilityStats:
+    """Counters for fault injection and recovery (:mod:`repro.faults`).
+
+    ``faults_injected`` counts scheduled fault events that fired;
+    ``errors_corrected`` counts raw bit errors the ECC fixed inline;
+    ``faults_recovered`` counts faults that needed active recovery (read
+    retry + remap, power-loss rebuild, tenant abort) but lost no committed
+    data; ``faults_fatal`` counts unrecoverable data loss (hard
+    uncorrectables, pages stranded on a failed die).
+    """
+
+    faults_injected: int = 0
+    errors_corrected: int = 0
+    faults_recovered: int = 0
+    faults_fatal: int = 0
+    read_retries: int = 0
+    remaps: int = 0
+    power_loss_recoveries: int = 0
+    integrity_violations: int = 0
+    tenant_aborts: int = 0
+    dies_failed: int = 0
+    added_latency_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "ReliabilityStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0.0 if f.name == "added_latency_s" else 0)
 
 
 class Counter:

@@ -16,6 +16,7 @@ import csv
 import pathlib
 import sys
 
+from repro.faults import run_chaos
 from repro.platform import PlatformConfig
 from repro.platform import figures
 from repro.workloads import workload_by_name
@@ -97,6 +98,21 @@ def main(out_dir: str = "figure_data") -> int:
     write_csv(out / "table6_extra_traffic.csv",
               ["workload", "encryption_fraction", "verification_fraction"],
               [(n, enc, ver) for n, (enc, ver) in traffic.items()])
+
+    # reliability: one chaos campaign per workload, fixed seed, so the
+    # fault/recovery counters can be plotted alongside the perf series
+    chaos_rows = []
+    counter_names = None
+    for name in figures.WORKLOAD_ORDER:
+        report = run_chaos(name, profiles[name].write_ratio, seed=42, ops=2000)
+        rel = report.reliability
+        if counter_names is None:
+            counter_names = sorted(rel)
+        chaos_rows.append([name, report.seed, report.invariant_violations]
+                          + [rel[c] for c in counter_names])
+    write_csv(out / "reliability_chaos.csv",
+              ["workload", "seed", "invariant_violations"] + counter_names,
+              chaos_rows)
 
     return 0
 
