@@ -1,0 +1,167 @@
+"""Per-module parse state shared by every rule during one walk."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.finding import Finding
+
+# `# repro: allow[rule-a, rule-b] -- why this is intentional`
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[a-z0-9_*,\s-]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+# fixtures and out-of-tree files can pin their logical module name
+_MODULE_OVERRIDE_RE = re.compile(r"#\s*analysis-module:\s*(?P<module>[\w.]+)")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: allow[...]`` comment."""
+
+    line: int  # line the comment sits on
+    rules: Tuple[str, ...]  # rule ids, or ("*",) for a blanket waiver
+    reason: str  # empty string == unjustified (itself a finding)
+    applies_to: int  # line the waiver covers (next line for bare comments)
+
+    def covers(self, rule: str, line: int) -> bool:
+        return line == self.applies_to and ("*" in self.rules or rule in self.rules)
+
+
+def _derive_module(path: Path) -> str:
+    """Dotted module name from a path like ``.../src/repro/ftl/gc.py``."""
+    parts = list(path.parts)
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro":
+            dotted = parts[anchor:]
+            dotted[-1] = Path(dotted[-1]).stem
+            if dotted[-1] == "__init__":
+                dotted = dotted[:-1]
+            return ".".join(dotted)
+    return ""
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.repro_parent = node  # type: ignore[attr-defined]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one parsed source file."""
+
+    path: Path
+    relpath: str  # POSIX-style path reported in findings
+    module: str  # dotted name, "" when underivable
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "ModuleContext":
+        """Parse ``path``; raises SyntaxError for the runner to report."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        _attach_parents(tree)
+        lines = source.splitlines()
+        module = _derive_module(path)
+        for probe in lines[:5]:
+            override = _MODULE_OVERRIDE_RE.search(probe)
+            if override:
+                module = override.group("module")
+                break
+        ctx = cls(
+            path=path,
+            relpath=relpath,
+            module=module,
+            source=source,
+            tree=tree,
+            lines=lines,
+        )
+        ctx.suppressions = list(ctx._scan_suppressions())
+        return ctx
+
+    # -- suppression comments ------------------------------------------------
+
+    def _scan_suppressions(self) -> Iterator[Suppression]:
+        for idx, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                sorted(r.strip() for r in match.group("rules").split(",") if r.strip())
+            )
+            reason = (match.group("reason") or "").strip()
+            # a comment-only line waives the *next* line; trailing comments
+            # waive their own line
+            bare = text.strip().startswith("#")
+            yield Suppression(
+                line=idx,
+                rules=rules,
+                reason=reason,
+                applies_to=idx + 1 if bare else idx,
+            )
+
+    def suppression_for(self, rule: str, line: int) -> Optional[Suppression]:
+        for suppression in self.suppressions:
+            if suppression.covers(rule, line):
+                return suppression
+        return None
+
+    # -- helpers for rules ---------------------------------------------------
+
+    @property
+    def package(self) -> str:
+        """Second-level package (``ftl`` for ``repro.ftl.gc``), "" otherwise."""
+        parts = self.module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return ""
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=lineno,
+            col=col + 1,
+            message=message,
+            line_text=self.line_text(lineno),
+        )
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "repro_parent", None)
+
+
+def dotted_source(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain ("a.b.c")."""
+    parts: List[str] = []
+    current: Optional[ast.AST] = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+__all__ = [
+    "ModuleContext",
+    "Suppression",
+    "dotted_source",
+    "parent_of",
+]

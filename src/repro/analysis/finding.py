@@ -1,0 +1,71 @@
+"""The unit of analyzer output: one finding at one source location."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Union
+
+
+class FindingStatus(enum.Enum):
+    """How the runner disposed of a finding."""
+
+    NEW = "new"  # unhandled: fails the lint
+    SUPPRESSED = "suppressed"  # justified inline `# repro: allow[...]` comment
+    BASELINED = "baselined"  # matched an entry in the committed baseline
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file/line/column.
+
+    ``line_text`` carries the stripped source line so baseline matching
+    survives unrelated line-number churn (content-addressed, not
+    position-addressed).
+    """
+
+    rule: str
+    path: str  # POSIX-style, relative to the scan root when possible
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+    status: FindingStatus = FindingStatus.NEW
+    justification: str = ""
+
+    def sort_key(self) -> "tuple[str, int, int, str]":
+        return (self.path, self.line, self.col, self.rule)
+
+    def baseline_key(self) -> "tuple[str, str, str]":
+        """Identity used for baseline matching: position-independent."""
+        return (self.rule, self.path, self.line_text)
+
+    def with_status(
+        self, status: FindingStatus, justification: str = ""
+    ) -> "Finding":
+        return replace(self, status=status, justification=justification)
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+            "status": self.status.value,
+            "justification": self.justification,
+        }
+
+
+# Pseudo-rule identifiers emitted by the framework itself rather than a
+# registered visitor rule.
+PARSE_ERROR_RULE = "meta-parse-error"
+UNJUSTIFIED_SUPPRESSION_RULE = "meta-unjustified-suppression"
+
+__all__ = [
+    "Finding",
+    "FindingStatus",
+    "PARSE_ERROR_RULE",
+    "UNJUSTIFIED_SUPPRESSION_RULE",
+]

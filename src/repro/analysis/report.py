@@ -1,0 +1,63 @@
+"""Text and JSON reporters over an analysis result."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.finding import Finding, FindingStatus
+
+REPORT_VERSION = 1
+
+
+def _sorted(findings: List[Finding]) -> List[Finding]:
+    return sorted(findings, key=Finding.sort_key)
+
+
+def summarize(findings: List[Finding], files_scanned: int) -> Dict[str, int]:
+    by_status = {status: 0 for status in FindingStatus}
+    for finding in findings:
+        by_status[finding.status] += 1
+    return {
+        "files_scanned": files_scanned,
+        "total": len(findings),
+        "new": by_status[FindingStatus.NEW],
+        "suppressed": by_status[FindingStatus.SUPPRESSED],
+        "baselined": by_status[FindingStatus.BASELINED],
+    }
+
+
+def render_text(
+    findings: List[Finding], files_scanned: int, verbose: bool = False
+) -> str:
+    lines: List[str] = []
+    for finding in _sorted(findings):
+        if finding.status is FindingStatus.NEW:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule}: {finding.message}"
+            )
+        elif verbose:
+            note = f" ({finding.justification})" if finding.justification else ""
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule}: [{finding.status.value}]{note}"
+            )
+    stats = summarize(findings, files_scanned)
+    lines.append(
+        f"{stats['files_scanned']} files scanned: {stats['new']} finding(s), "
+        f"{stats['suppressed']} suppressed, {stats['baselined']} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files_scanned: int) -> str:
+    payload: Dict[str, Any] = {
+        "version": REPORT_VERSION,
+        "summary": summarize(findings, files_scanned),
+        "findings": [finding.to_dict() for finding in _sorted(findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+__all__ = ["REPORT_VERSION", "render_json", "render_text", "summarize"]

@@ -1,0 +1,1 @@
+"""Built-in rule families: determinism, security-flow, sim-time."""

@@ -1,0 +1,115 @@
+"""Sim-time rules.
+
+Simulation time is a float (seconds). Two disciplines keep the
+discrete-event core honest: never compare sim-time values with `==`/`!=`
+(float accumulation makes equality a coin flip — gate on ordering or event
+sequence numbers instead), and never reach into another component's
+`_private` state from an event callback (cross-component effects go through
+Engine.schedule / sim.resource primitives so they land at a defined point
+in the event order).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.context import ModuleContext, dotted_source
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+
+_TIME_EXACT = frozenset({"now", "_now", "sim_time", "deadline", "timestamp"})
+_TIME_SUFFIXES = ("_time", "_latency_s", "_seconds", "_deadline")
+
+
+def _time_label(expr: ast.expr) -> Optional[str]:
+    """Render `expr` if it names a sim-time value, else None."""
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    else:
+        return None
+    if name in _TIME_EXACT or name.endswith(_TIME_SUFFIXES):
+        return dotted_source(expr) or name
+    return None
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    """Ban `==`/`!=` on sim-time floats."""
+
+    id = "sim-float-eq"
+    family = "sim-time"
+    summary = "`==`/`!=` comparison on float simulation time"
+    rationale = (
+        "Deterministic replay (§6): sim time accumulates float error, so "
+        "equality tests pass or fail depending on schedule history; order "
+        "events with <=/>= or the engine's (time, seq) tie-break instead."
+    )
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Compare)
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        # comparing against a string constant means it's not a time value
+        if any(isinstance(o, ast.Constant) and isinstance(o.value, str)
+               for o in operands):
+            return
+        for operand in operands:
+            label = _time_label(operand)
+            if label is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"float sim-time `{label}` compared with ==/!=; use "
+                    "ordering (<=, >=) or event sequence numbers",
+                )
+                return
+
+
+def _assign_targets(node: ast.AST) -> Iterator[ast.expr]:
+    if isinstance(node, ast.Assign):
+        yield from node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        yield node.target
+
+
+@register
+class PrivateMutationRule(Rule):
+    """Event callbacks must not mutate another component's `_private` state."""
+
+    id = "sim-private-mutation"
+    family = "sim-time"
+    summary = "write to another object's `_private` attribute"
+    rationale = (
+        "Event-order integrity: `other._busy = 0` from a callback mutates "
+        "state the owner believes it serializes through Engine events; use "
+        "sim/resource.py primitives (acquire/cancel/schedule) so the "
+        "mutation lands at a defined point in the event order."
+    )
+    node_types = (ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        for target in _assign_targets(node):
+            if not isinstance(target, ast.Attribute):
+                continue
+            attr = target.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                continue
+            owner = dotted_source(base) or "<expr>"
+            yield ctx.finding(
+                self.id,
+                node,
+                f"direct write to `{owner}.{attr}`: foreign private state "
+                "must change through its owner's API / sim.resource "
+                "primitives, not cross-component pokes",
+            )
+
+
+__all__: Tuple[str, ...] = ("FloatTimeEqualityRule", "PrivateMutationRule")

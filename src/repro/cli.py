@@ -9,6 +9,7 @@ Examples::
     python -m repro sweep channels tpch-q3
     python -m repro sweep dram tpcc
     python -m repro chaos tpch-q1 --seed 42
+    python -m repro lint src --format json
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.platform import PlatformConfig, make_platform
 from repro.platform.schemes import SCHEMES, flash_read_throughput
 from repro.workloads import ALL_WORKLOADS, workload_by_name
@@ -195,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("workload")
     _add_config_flags(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: determinism, security-flow, sim-time rules",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint)
 
     chaos = sub.add_parser(
         "chaos", help="run a workload-shaped fault-injection campaign"

@@ -157,7 +157,7 @@ class IceClaveRuntime:
             # world switch + the FTL's flash read of the translation page
             self.charged_time += (
                 self.config.context_switch_time
-                + self.ftl.chip.geometry.page_bytes / 600e6  # transfer
+                + self.ftl.geometry.page_bytes / 600e6  # transfer
             )
             if self.ftl.translation_store is not None:
                 # DFTL mode: really fetch the translation page from flash
@@ -166,6 +166,7 @@ class IceClaveRuntime:
                 )
         try:
             return self.ftl.translate(lpa, tee_id=tee.eid)
+        # repro: allow[sec-broad-except] -- §4.5 ThrowOutTEE: every translation failure aborts the TEE
         except Exception as exc:
             self.throw_out_tee(tee, f"access control violated: {exc}")
             raise TeeAbort(tee.eid, str(exc)) from exc

@@ -116,7 +116,8 @@ class TeeScheduler:
                 outcome.completed[task.tee.eid] = result
                 task.finished = True
                 return
-            except Exception as exc:  # program fault -> ThrowOutTEE case 3
+            # repro: allow[sec-broad-except] -- §4.5 case 3: program fault -> ThrowOutTEE
+            except Exception as exc:
                 self._abort(task, f"in-storage program exception: {exc}", outcome)
                 return
             if task.steps_taken > self.max_steps_per_tee:

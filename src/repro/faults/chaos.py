@@ -23,12 +23,12 @@ from repro.faults.errors import PowerLossError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, FaultPlanConfig
 from repro.faults.recovery import EnclaveIntegrityGuard
-from repro.flash.chip import FlashChip
+from repro.flash.chip import DieFailureError, FlashChip, FlashProgramError
 from repro.flash.ecc import EccModel, ReadRetryPolicy
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.ftl import Ftl, UncorrectableReadError
+from repro.ftl.mapping import AccessDeniedError
 from repro.host.nvme import status_for_exception
-from repro.platform.metrics import RunResult
 from repro.sim.stats import ReliabilityStats
 
 # Small enough to churn through GC in a few thousand ops, big enough to
@@ -106,16 +106,9 @@ class ChaosReport:
         ]
         return "\n".join(lines)
 
-    def to_run_result(self) -> RunResult:
-        """Reliability counters in the platform layer's result shape."""
-        result = RunResult(
-            workload=self.workload,
-            scheme="chaos",
-            total_time=max(self.reliability.get("added_latency_s", 0.0), 1e-12),
-            stats={k: float(v) for k, v in self.ftl_counters.items()},
-        )
-        result.reliability = dict(self.reliability)
-        return result
+    # NOTE: the platform-layer view of a chaos run lives in
+    # `repro.platform.metrics.RunResult.from_chaos`; building it here would
+    # invert the faults -> platform layering.
 
 
 class ChaosRunner:
@@ -215,7 +208,8 @@ class ChaosRunner:
                 ppa = self.ftl.translate(lpa)
                 if self.chip.read(ppa) != payload:
                     bad += 1
-            except Exception:
+            except (KeyError, AccessDeniedError, FlashProgramError, DieFailureError):
+                # the mapping or physical page did not survive the fault
                 bad += 1
         if bad:
             self.invariant_violations += bad

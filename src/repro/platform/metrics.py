@@ -30,6 +30,22 @@ class RunResult:
             k: float(v) for k, v in reliability_stats.as_dict().items()
         }
 
+    @classmethod
+    def from_chaos(cls, report) -> "RunResult":
+        """Platform-layer view of a :class:`~repro.faults.chaos.ChaosReport`.
+
+        Lives here (not on the report) so the fault harness never imports
+        the platform layer; the report is duck-typed.
+        """
+        result = cls(
+            workload=report.workload,
+            scheme="chaos",
+            total_time=max(report.reliability.get("added_latency_s", 0.0), 1e-12),
+            stats={k: float(v) for k, v in report.ftl_counters.items()},
+        )
+        result.reliability = dict(report.reliability)
+        return result
+
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (>1 = faster)."""
         if self.total_time <= 0:

@@ -1,0 +1,12 @@
+"""Fixture: idiomatic simulator code that trips no rule."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Sample:
+    value: float = 0.0
+
+
+def total(samples) -> float:
+    return sum(s.value for s in sorted(samples, key=lambda s: s.value))

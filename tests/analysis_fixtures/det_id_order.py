@@ -1,0 +1,5 @@
+"""Fixture: det-id-order must fire exactly once."""
+
+
+def order(events):
+    return sorted(events, key=id)

@@ -1,0 +1,7 @@
+"""Fixture: det-import-random must fire exactly once."""
+
+import random
+
+
+def roll() -> int:
+    return random.getrandbits(8)

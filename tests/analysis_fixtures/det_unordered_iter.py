@@ -1,0 +1,6 @@
+"""Fixture: det-unordered-iter must fire exactly once."""
+
+
+def drain(engine):
+    for name in {"flash", "dram", "cpu"}:
+        engine.schedule(0.0, lambda: None, name=name)

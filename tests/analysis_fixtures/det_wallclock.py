@@ -1,0 +1,7 @@
+"""Fixture: det-wallclock must fire exactly once."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

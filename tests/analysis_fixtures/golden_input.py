@@ -1,0 +1,7 @@
+"""Fixture for the golden JSON report: two findings, fixed positions."""
+
+import random
+
+
+def wait_until(engine, deadline: float) -> bool:
+    return engine.now == deadline or random.random() > 0.5

@@ -1,0 +1,6 @@
+# analysis-module: repro.core.fixture_boundary
+"""Fixture: sec-boundary-bypass must fire exactly once."""
+
+
+def peek(runtime, ppa: int) -> bytes:
+    return runtime.ftl.chip.read(ppa)

@@ -1,0 +1,9 @@
+"""Fixture: sec-broad-except must fire exactly once."""
+
+
+def swallow(action) -> bool:
+    try:
+        action()
+        return True
+    except Exception:
+        return False

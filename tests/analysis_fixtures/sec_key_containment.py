@@ -1,0 +1,7 @@
+# analysis-module: repro.host.fixture_keys
+"""Fixture: sec-key-containment must fire exactly once."""
+
+
+def provision(material: bytes) -> bytes:
+    aes_key = material[:16]
+    return aes_key

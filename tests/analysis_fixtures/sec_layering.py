@@ -1,0 +1,6 @@
+# analysis-module: repro.ftl.fixture_layering
+"""Fixture: sec-layering must fire exactly once (ftl importing host)."""
+
+from repro.host.nvme import status_for_exception
+
+__all__ = ["status_for_exception"]

@@ -1,0 +1,5 @@
+"""Fixture: sec-telemetry-leak must fire exactly once."""
+
+
+def debug_dump(aes_key: bytes) -> None:
+    print(aes_key.hex())

@@ -1,0 +1,5 @@
+"""Fixture: sim-float-eq must fire exactly once."""
+
+
+def is_fresh(engine) -> bool:
+    return engine.now == 0.0

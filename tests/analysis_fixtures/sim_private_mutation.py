@@ -1,0 +1,5 @@
+"""Fixture: sim-private-mutation must fire exactly once."""
+
+
+def force_idle(resource) -> None:
+    resource._busy = 0

@@ -1,0 +1,5 @@
+"""Fixture: a justified suppression leaves the file clean."""
+
+import random  # repro: allow[det-import-random] -- fixture proving justified waivers work
+
+__all__ = ["random"]

@@ -1,0 +1,5 @@
+"""Fixture: a waiver without a reason is itself a finding."""
+
+import random  # repro: allow[det-import-random]
+
+__all__ = ["random"]

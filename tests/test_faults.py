@@ -292,8 +292,10 @@ class TestChaosDeterminism:
         assert rel["added_latency_s"] > 0
 
     def test_reliability_counters_reach_run_result(self):
+        from repro.platform.metrics import RunResult
+
         report = run_chaos("tpch-q1", write_ratio=0.05, seed=3, ops=1200)
-        result = report.to_run_result()
+        result = RunResult.from_chaos(report)
         assert result.reliability["faults_injected"] == report.reliability["faults_injected"]
         assert result.scheme == "chaos"
 

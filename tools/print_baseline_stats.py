@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Print per-rule statistics for the committed analysis baseline.
+
+Stdlib-only; used by the CI lint job (and humans) to keep an eye on how much
+legacy debt the baseline is still carrying.  Exits non-zero if the baseline
+file is missing or malformed so CI notices a corrupted checkout.
+
+Usage::
+
+    python tools/print_baseline_stats.py [path/to/analysis-baseline.json]
+"""
+
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+DEFAULT_PATH = Path(__file__).resolve().parent.parent / "analysis-baseline.json"
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else DEFAULT_PATH
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"error: baseline not found: {path}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: baseline is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+
+    if payload.get("version") != 1:
+        print(f"error: unsupported baseline version: {payload.get('version')!r}", file=sys.stderr)
+        return 1
+
+    entries = payload.get("entries", [])
+    by_rule = Counter()
+    by_path = Counter()
+    for entry in entries:
+        count = int(entry.get("count", 1))
+        by_rule[entry["rule"]] += count
+        by_path[entry["path"]] += count
+
+    total = sum(by_rule.values())
+    print(f"baseline: {path}")
+    print(f"  {total} waived finding(s) across {len(by_path)} file(s)")
+    for rule, count in sorted(by_rule.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"    {rule:<24} {count}")
+    if by_path:
+        print("  by file:")
+        for file_path, count in sorted(by_path.items(), key=lambda kv: (-kv[1], kv[0])):
+            print(f"    {file_path:<48} {count}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
