@@ -67,7 +67,12 @@ def _load_builtin_rules() -> None:
     if _LOADED:
         return
     _LOADED = True
-    from repro.analysis.rules import determinism, security, simtime  # noqa: F401
+    from repro.analysis.rules import (  # noqa: F401
+        determinism,
+        resilience,
+        security,
+        simtime,
+    )
 
 
 __all__ = ["Rule", "all_rules", "register", "rule_by_id"]

@@ -1,0 +1,103 @@
+"""Resilience rules.
+
+The resilience toolkit's core contract is that every retry is *bounded* —
+by an attempt budget (``RetryPolicy.max_attempts``), a deadline
+(``TimeoutBudget.request_deadline_s``), or both. An unbounded retry loop
+turns a transient fault into a livelock: it hammers a sick component
+forever (defeating the circuit breaker), holds its queue slot (defeating
+admission control), and never surfaces the failure the degradation ladder
+needs to see. This rule pins that contract into the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+
+# identifiers whose presence inside the loop signals a bound on the retrying
+_BOUND_NAMES = frozenset(
+    {
+        "max_attempts",
+        "attempts",
+        "attempt",
+        "max_retries",
+        "retries",
+        "tries",
+        "max_tries",
+        "deadline",
+        "budget",
+        "remaining",
+        "allows",
+        "give_up",
+    }
+)
+
+
+def _is_infinite(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and test.value in (True, 1)
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the except body lets control reach the next iteration."""
+    last = handler.body[-1]
+    return not isinstance(last, (ast.Raise, ast.Return, ast.Break))
+
+
+def _references_bound(node: ast.While) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in _BOUND_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _BOUND_NAMES:
+            return True
+        if isinstance(sub, ast.keyword) and sub.arg in _BOUND_NAMES:
+            return True
+    return False
+
+
+@register
+class UnboundedRetryRule(Rule):
+    """`while True` retry loops must carry an attempt or deadline bound."""
+
+    id = "resilience-unbounded-retry"
+    family = "resilience"
+    summary = "retry loop with no attempt or deadline bound"
+    rationale = (
+        "Bounded-retry contract: an infinite loop that catches an error "
+        "and goes around again livelocks on a persistent fault — it "
+        "defeats the circuit breaker, wedges a queue slot past admission "
+        "control, and hides the failure from the degradation ladder. Gate "
+        "every retry on max_attempts and/or a sim-time deadline "
+        "(repro.resilience.policy.RetryPolicy / TimeoutBudget)."
+    )
+    node_types = (ast.While,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.While)
+        if not _is_infinite(node.test):
+            return
+        handlers = [
+            handler
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Try)
+            for handler in sub.handlers
+        ]
+        # retry-shaped: at least one handler swallows the error and lets the
+        # loop spin again
+        if not any(_handler_swallows(h) for h in handlers):
+            return
+        if _references_bound(node):
+            return
+        yield ctx.finding(
+            self.id,
+            node,
+            "`while True` retry loop with no attempt or deadline bound; "
+            "cap it with max_attempts and/or a sim-time deadline "
+            "(see repro.resilience.policy)",
+        )
+
+
+__all__: Tuple[str, ...] = ("UnboundedRetryRule",)

@@ -48,7 +48,13 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
         {"area", "core", "cpu", "crypto", "dram", "flash", "ftl", "host",
          "query", "sim", "workloads", "faults"}
     ),
-    "cli": frozenset({"analysis", "faults", "platform", "workloads"}),
+    # resilience policies sit above the device and host layers: they consume
+    # fault plans and SLO metrics but are injected duck-typed downward, so
+    # host/ftl never import them back (no cycle, small device-side TCB)
+    "resilience": frozenset(
+        {"core", "crypto", "faults", "flash", "ftl", "host", "platform", "sim"}
+    ),
+    "cli": frozenset({"analysis", "faults", "platform", "resilience", "workloads"}),
 }
 
 

@@ -9,6 +9,7 @@ Examples::
     python -m repro sweep channels tpch-q3
     python -m repro sweep dram tpcc
     python -m repro chaos tpch-q1 --seed 42
+    python -m repro resilience --seed 7 --quick
     python -m repro lint src --format json
 """
 
@@ -25,6 +26,7 @@ from repro.workloads import ALL_WORKLOADS, workload_by_name
 
 GIB = 1 << 30
 DEFAULT_CHAOS_SEED = 42
+DEFAULT_RESILIENCE_SEED = 7
 
 
 def _make_profile(args: argparse.Namespace):
@@ -167,6 +169,48 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resilience(args: argparse.Namespace) -> int:
+    if args.ops < 10:
+        print("error: resilience needs at least 10 requests (--ops)", file=sys.stderr)
+        return 2
+    from repro.resilience import run_resilience
+
+    seed = args.seed if args.seed is not None else DEFAULT_RESILIENCE_SEED
+    ops = 600 if args.quick else args.ops
+    report = run_resilience(seed=seed, ops=ops)
+    print(report.format())
+    if args.events:
+        print("event log (policies on):")
+        for line in report.resilient.event_log:
+            print(f"  {line}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            for row in report.csv_rows():
+                fh.write(",".join(row) + "\n")
+        print(f"wrote {args.csv}")
+    # the whole experiment must be a pure function of the seed: run it again
+    # and require byte-identical reports
+    repeat = run_resilience(seed=seed, ops=ops)
+    deterministic = report.fingerprint() == repeat.fingerprint()
+    print(f"deterministic: {'yes' if deterministic else 'NO — runs diverged'}")
+    exit_code = 0
+    if not deterministic:
+        exit_code = 1
+    threshold = args.min_availability / 100.0
+    if report.resilient.availability < threshold:
+        print(
+            f"FAIL: policies-on availability "
+            f"{report.resilient.availability * 100:.4f}% is below the "
+            f"{args.min_availability:.2f}% floor",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if report.availability_gain() <= 0:
+        print("FAIL: policies did not improve availability", file=sys.stderr)
+        exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -200,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static analysis: determinism, security-flow, sim-time rules",
+        help="static analysis: determinism, security-flow, sim-time, resilience rules",
     )
     add_lint_arguments(lint)
     lint.set_defaults(func=run_lint)
@@ -217,6 +261,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="availability experiment: chaos plan with/without resilience policies",
+    )
+    resilience.add_argument(
+        "--ops", type=int, default=2000, help="requests per arm (default 2000)"
+    )
+    resilience.add_argument(
+        "--quick", action="store_true", help="small run for CI smoke (600 requests)"
+    )
+    resilience.add_argument(
+        "--min-availability",
+        type=float,
+        default=99.0,
+        help="fail (exit 1) if policies-on availability drops below this %% (default 99)",
+    )
+    resilience.add_argument(
+        "--csv", metavar="PATH", help="write the per-arm SLO summary as CSV"
+    )
+    resilience.add_argument(
+        "--events", "-e", action="store_true",
+        help="print the policies-on fault/transition log",
+    )
+    resilience.add_argument(
+        "--seed", type=int, help="deterministic seed for the fault plan and arrivals"
+    )
+    resilience.set_defaults(func=cmd_resilience)
     return parser
 
 

@@ -233,8 +233,25 @@ class ChaosRunner:
                         f"op={op} tenant {message.tee_id} aborted: enclave torn down,"
                         " other tenants unaffected"
                     )
-                    self.guard.restart(message.tee_id)
-                    self._seed_tenant(message.tee_id)
+                    tenant = self.guard.restart(message.tee_id)
+                    # the restart replays the journaled write epoch: every
+                    # line committed before the abort must round-trip
+                    bad = sum(
+                        1
+                        for page, line in tenant.lines_written
+                        if self.guard.read(message.tee_id, page, line)
+                        != tenant.journal[(page, line)]
+                    )
+                    if bad:
+                        self.invariant_violations += bad
+                        self.event_log.append(
+                            f"op={op} tenant {message.tee_id} replay lost {bad} lines"
+                        )
+                    self.event_log.append(
+                        f"op={op} tenant {message.tee_id} restarted"
+                        f" gen={tenant.generation}"
+                        f" replayed={len(tenant.lines_written)} lines"
+                    )
 
     # -- the run ---------------------------------------------------------------
 

@@ -33,6 +33,12 @@ class TenantEnclave:
     aborted: bool = False
     abort_message: Optional[TeeMessage] = None
     lines_written: List[Tuple[int, int]] = field(default_factory=list)
+    # committed-write journal: the last plaintext accepted per line. This is
+    # the tenant's pending-write epoch; restart replays it through the fresh
+    # MEE so a post-restart read of the last committed line round-trips.
+    # (In hardware this journal is the encrypted write-ahead log in flash;
+    # functionally the plaintext stands in for log-replay-then-decrypt.)
+    journal: Dict[Tuple[int, int], bytes] = field(default_factory=dict)
 
 
 class EnclaveIntegrityGuard:
@@ -71,6 +77,7 @@ class EnclaveIntegrityGuard:
         tenant.mee.write_line(page, line, plaintext)
         if (page, line) not in tenant.lines_written:
             tenant.lines_written.append((page, line))
+        tenant.journal[(page, line)] = bytes(plaintext)
 
     def read(self, tee_id: int, page: int, line: int) -> Optional[bytes]:
         """Verified read; returns None when the violation aborted the tenant."""
@@ -101,16 +108,31 @@ class EnclaveIntegrityGuard:
                     break
         return aborts
 
-    def restart(self, tee_id: int) -> TenantEnclave:
-        """Provision a fresh enclave generation after an abort."""
+    def restart(self, tee_id: int, replay: bool = True) -> TenantEnclave:
+        """Provision a fresh enclave generation after an abort.
+
+        With ``replay`` (the default) the journaled write epoch is replayed
+        through the fresh MEE in original write order, so every line the
+        tenant had committed before the abort reads back verbatim — the
+        tamper is discarded with the old MEE state, not the tenant's data.
+        ``replay=False`` gives the old scorched-earth restart (fresh, empty
+        enclave) for tenants that prefer to re-provision from scratch.
+        """
         tenant = self.tenants[tee_id]
         if not tenant.aborted:
             raise ValueError(f"tenant {tee_id} is not aborted")
         tenant.mee = FunctionalMee(tenant.pages, tenant.aes_key, tenant.mac_key)
-        tenant.lines_written = []
         tenant.generation += 1
         tenant.aborted = False
         tenant.abort_message = None
+        if replay:
+            # lines_written preserves first-write order; the journal holds the
+            # last committed payload per line (last-write-wins epoch)
+            for page, line in tenant.lines_written:
+                tenant.mee.write_line(page, line, tenant.journal[(page, line)])
+        else:
+            tenant.lines_written = []
+            tenant.journal = {}
         return tenant
 
     def live_tenants(self) -> List[int]:

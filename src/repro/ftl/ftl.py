@@ -22,6 +22,19 @@ from repro.ftl.wear_leveling import WearLeveler
 from repro.sim.stats import ReliabilityStats
 
 
+class WritesSuspendedError(Exception):
+    """A write was refused because the device is in a degraded service mode.
+
+    Raised by the timing layer (:class:`~repro.ftl.ssd_system.SsdSystem`)
+    when a degradation ladder has taken the device to DEGRADED_READONLY or
+    FAILSAFE; the host sees a *retryable* NVMe status, not data loss.
+    """
+
+    def __init__(self, mode: str) -> None:
+        super().__init__(f"writes suspended: device is in {mode} mode")
+        self.mode = mode
+
+
 class UncorrectableReadError(Exception):
     """A logical read failed permanently (ECC exhausted or die gone).
 

@@ -17,7 +17,7 @@ from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.flash.ssd import FlashDevice
 from repro.flash.timing import FlashTiming
-from repro.ftl.ftl import Ftl, FtlOpCost
+from repro.ftl.ftl import Ftl, FtlOpCost, WritesSuspendedError
 from repro.ftl.mapping import PUBLIC_ID
 from repro.sim.engine import Engine
 from repro.sim.stats import Histogram
@@ -29,8 +29,13 @@ Callback = Optional[Callable[[float], None]]  # receives completion latency
 class IoStats:
     reads_issued: int = 0
     writes_issued: int = 0
-    read_latency: Histogram = field(default_factory=lambda: Histogram("read"))
-    write_latency: Histogram = field(default_factory=lambda: Histogram("write"))
+    writes_refused_degraded: int = 0
+    read_latency: Histogram = field(
+        default_factory=lambda: Histogram("read", keep_samples=True)
+    )
+    write_latency: Histogram = field(
+        default_factory=lambda: Histogram("write", keep_samples=True)
+    )
     gc_stalled_writes: int = 0
 
 
@@ -43,6 +48,8 @@ class SsdSystem:
         timing: Optional[FlashTiming] = None,
         engine: Optional[Engine] = None,
         store_data: bool = False,
+        degradation=None,  # duck-typed DegradationLadder: allows_writes()
+        slo=None,  # duck-typed SloTracker: record(now, kind, latency, ok)
         **ftl_kwargs,
     ) -> None:
         self.engine = engine or Engine()
@@ -51,6 +58,12 @@ class SsdSystem:
         self.ftl = Ftl(self.geometry, chip=chip, **ftl_kwargs)
         self.device = FlashDevice(self.engine, self.geometry, timing, chip=None)
         self.stats = IoStats()
+        self.degradation = degradation
+        self.slo = slo
+
+    def attach_slo(self, tracker) -> None:
+        """Record every completed read/write into an SLO tracker."""
+        self.slo = tracker
 
     # -- logical requests -----------------------------------------------------
 
@@ -67,6 +80,8 @@ class SsdSystem:
         def finish() -> None:
             latency = self.engine.now - start
             self.stats.read_latency.record(latency)
+            if self.slo is not None:
+                self.slo.record(self.engine.now, "read", latency, ok=True)
             if on_done is not None:
                 on_done(latency)
 
@@ -81,7 +96,16 @@ class SsdSystem:
         synchronously; all resulting physical operations are scheduled on
         the device, and the request completes when its own program — queued
         behind any relocation traffic — finishes.
+
+        When a degradation ladder is attached and the device has dropped to
+        a read-only (or failsafe) mode, the write is refused *before* any
+        FTL state changes with :class:`WritesSuspendedError` — the NVMe
+        layer maps it to the retryable COMMAND_INTERRUPTED status.
         """
+        if self.degradation is not None and not self.degradation.allows_writes():
+            self.stats.writes_refused_degraded += 1
+            mode = getattr(self.degradation, "mode", "degraded")
+            raise WritesSuspendedError(getattr(mode, "value", str(mode)))
         cost = self.ftl.write(lpa, data, owner=owner)
         start = self.engine.now
         self.stats.writes_issued += 1
@@ -101,6 +125,8 @@ class SsdSystem:
         def finish() -> None:
             latency = self.engine.now - start
             self.stats.write_latency.record(latency)
+            if self.slo is not None:
+                self.slo.record(self.engine.now, "write", latency, ok=True)
             if on_done is not None:
                 on_done(latency)
 
@@ -136,6 +162,13 @@ class SsdSystem:
     def p99_style_max_write(self) -> float:
         """Worst observed write latency (GC pauses surface here)."""
         return self.stats.write_latency.max or 0.0
+
+    def read_latency_percentile(self, pct: float) -> float:
+        """Exact read-latency percentile over the finished run."""
+        return self.stats.read_latency.percentile(pct)
+
+    def write_latency_percentile(self, pct: float) -> float:
+        return self.stats.write_latency.percentile(pct)
 
     def write_amplification(self) -> float:
         """Physical writes per host write since the system was created."""

@@ -25,13 +25,40 @@ class OffloadHandle:
     result: Optional[bytes] = None
 
 
-class IceClaveLibrary:
-    """Host ↔ SSD offloading interface (OffloadCode / GetResult)."""
+class ServiceDegradedError(RuntimeError):
+    """The SSD refused an offload because it is running degraded.
 
-    def __init__(self, runtime: IceClaveRuntime) -> None:
+    Carries the device's current service mode so the tenant can distinguish
+    "retry later" (DEGRADED_READONLY — committed data is still readable and
+    integrity-verified) from "stop offloading" (FAILSAFE).
+    """
+
+    def __init__(self, mode: str, what: str) -> None:
+        super().__init__(f"{what} refused: device service mode is {mode}")
+        self.mode = mode
+
+
+class IceClaveLibrary:
+    """Host ↔ SSD offloading interface (OffloadCode / GetResult).
+
+    ``degradation`` is an optional (duck-typed) degradation ladder; when the
+    device reports anything below NORMAL, new offloads are refused with
+    :class:`ServiceDegradedError` and tenants can poll :meth:`service_mode`
+    — degraded-but-correct service is a first-class mode, not an error.
+    """
+
+    def __init__(self, runtime: IceClaveRuntime, degradation=None) -> None:
         self._runtime = runtime
         self._tasks: Dict[int, OffloadHandle] = {}
         self._next_tid = 1
+        self._degradation = degradation
+
+    def service_mode(self) -> str:
+        """The device's current service mode, as the tenant sees it."""
+        if self._degradation is None:
+            return "normal"
+        mode = self._degradation.mode
+        return getattr(mode, "value", str(mode))
 
     def offload_code(
         self,
@@ -45,6 +72,8 @@ class IceClaveLibrary:
 
         Returns a handle whose ``tid`` indexes the offloaded procedure.
         """
+        if self._degradation is not None and not self._degradation.allows_offload():
+            raise ServiceDegradedError(self.service_mode(), "OffloadCode")
         if tid is None:
             tid = self._next_tid
             self._next_tid += 1

@@ -1,9 +1,16 @@
-"""Run results and comparison helpers."""
+"""Run results, comparison helpers, and SLO tracking.
+
+:class:`SloTracker` is the service-level view of a run: request outcomes
+and latencies bucketed into fixed sim-time windows, exact percentiles, and
+an error budget against stated objectives. It is deliberately clock-free —
+callers pass ``Engine.now`` — so two identical runs produce byte-identical
+summaries, which is how the resilience CLI proves determinism.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -65,6 +72,142 @@ class RunResult:
         if total <= 0:
             return {"total": self.total_time}
         return {k: v * self.total_time / total for k, v in parts.items()}
+
+
+@dataclass(frozen=True)
+class SloObjectives:
+    """What the service promises: availability and read-tail targets."""
+
+    availability: float = 0.99  # completed-without-error fraction
+    p99_read_s: float = 2e-3  # 99th percentile read latency
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability objective must lie in (0, 1]")
+        if self.p99_read_s <= 0:
+            raise ValueError("p99 objective must be positive")
+
+
+class SloTracker:
+    """Windowed request-outcome and latency tracking over sim-time.
+
+    ``record(now, kind, latency_s, ok)`` is called once per finished
+    request (``kind`` is ``"read"``/``"write"``). Requests are bucketed into
+    fixed ``window_s`` sim-time windows for burn-rate inspection; latencies
+    are kept exactly so percentiles are exact, and *failed* requests count
+    their observed latency too — a timeout is tail latency, not a no-op.
+    """
+
+    def __init__(
+        self,
+        objectives: SloObjectives = SloObjectives(),
+        window_s: float = 1e-3,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.objectives = objectives
+        self.window_s = window_s
+        self.total = 0
+        self.failures = 0
+        self._by_kind: Dict[str, List[float]] = {}
+        self._failures_by_kind: Dict[str, int] = {}
+        # window index -> [requests, failures]
+        self._windows: Dict[int, List[int]] = {}
+        self._sorted_cache: Dict[str, List[float]] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, now: float, kind: str, latency_s: float, ok: bool = True) -> None:
+        self.total += 1
+        self._by_kind.setdefault(kind, []).append(latency_s)
+        self._sorted_cache.pop(kind, None)
+        window = self._windows.setdefault(int(now / self.window_s), [0, 0])
+        window[0] += 1
+        if not ok:
+            self.failures += 1
+            self._failures_by_kind[kind] = self._failures_by_kind.get(kind, 0) + 1
+            window[1] += 1
+
+    # -- queries --------------------------------------------------------------
+
+    def availability(self) -> float:
+        """Completed-without-error fraction over everything recorded."""
+        if self.total == 0:
+            return 1.0
+        return (self.total - self.failures) / self.total
+
+    def sorted_latencies(self, kind: str) -> List[float]:
+        """Sorted latencies for ``kind`` (cached; hedge policies poll this)."""
+        if kind not in self._sorted_cache:
+            self._sorted_cache[kind] = sorted(self._by_kind.get(kind, []))
+        return self._sorted_cache[kind]
+
+    def percentile(self, kind: str, pct: float) -> float:
+        """Exact percentile of ``kind`` latencies; 0.0 with no samples."""
+        ordered = self.sorted_latencies(kind)
+        if not ordered:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("percentile must lie in [0, 100]")
+        idx = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def error_budget_remaining(self) -> float:
+        """Fraction of the availability error budget still unspent.
+
+        1.0 = untouched, 0.0 = exactly spent, negative = burned through.
+        """
+        if self.total == 0:
+            return 1.0
+        allowed = (1.0 - self.objectives.availability) * self.total
+        if allowed <= 0:
+            return 1.0 if self.failures == 0 else float("-inf")
+        return (allowed - self.failures) / allowed
+
+    def worst_window(self) -> Tuple[float, int, int]:
+        """(start_time_s, requests, failures) of the worst sim-time window."""
+        if not self._windows:
+            return (0.0, 0, 0)
+        idx, (requests, failures) = max(
+            self._windows.items(), key=lambda kv: (kv[1][1], kv[1][0], -kv[0])
+        )
+        return (idx * self.window_s, requests, failures)
+
+    def meets_objectives(self) -> bool:
+        return (
+            self.availability() >= self.objectives.availability
+            and self.percentile("read", 99.0) <= self.objectives.p99_read_s
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary_lines(self) -> List[str]:
+        """Deterministic text summary (equal runs ⇒ byte-equal lines)."""
+        lines = [
+            f"requests={self.total} failures={self.failures}"
+            f" availability={self.availability() * 100:.4f}%",
+        ]
+        for kind in sorted(self._by_kind):
+            failed = self._failures_by_kind.get(kind, 0)
+            lines.append(
+                f"{kind}: n={len(self._by_kind[kind])} failed={failed}"
+                f" p50={self.percentile(kind, 50) * 1e6:.1f}us"
+                f" p95={self.percentile(kind, 95) * 1e6:.1f}us"
+                f" p99={self.percentile(kind, 99) * 1e6:.1f}us"
+            )
+        start, requests, failures = self.worst_window()
+        lines.append(
+            f"error budget remaining: {self.error_budget_remaining() * 100:.1f}%"
+            f" (objective {self.objectives.availability * 100:.2f}%)"
+        )
+        lines.append(
+            f"worst {self.window_s * 1e3:.1f}ms window: t={start * 1e3:.1f}ms"
+            f" requests={requests} failures={failures}"
+        )
+        return lines
+
+    def format(self) -> str:
+        return "\n".join(self.summary_lines())
 
 
 def geometric_mean(values) -> float:

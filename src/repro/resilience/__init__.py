@@ -1,0 +1,52 @@
+"""repro.resilience — deterministic resilience policies for the SSD stack.
+
+Retry/timeout/hedging policies, per-channel circuit breakers, token-bucket
+admission control, and the graceful-degradation ladder, all driven by the
+simulation clock and explicitly seeded PRNG streams so chaos campaigns stay
+reproducible. The host and FTL layers never import this package — policies
+are injected duck-typed (``admission=``, ``degradation=``, ``slo=``) to keep
+the device-side trusted computing base small (IceClave §4.5); only the CLI
+and the lab compose the full stack.
+"""
+
+from repro.resilience.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.resilience.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.degrade import DegradationLadder, DegradeConfig, ServiceMode
+from repro.resilience.lab import (
+    ArmReport,
+    LabConfig,
+    PolicySuite,
+    ResilienceReport,
+    run_resilience,
+)
+from repro.resilience.policy import HedgePolicy, RetryPolicy, TimeoutBudget
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ArmReport",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradationLadder",
+    "DegradeConfig",
+    "HedgePolicy",
+    "LabConfig",
+    "PolicySuite",
+    "ResilienceReport",
+    "RetryPolicy",
+    "ServiceMode",
+    "TimeoutBudget",
+    "TokenBucket",
+    "run_resilience",
+]

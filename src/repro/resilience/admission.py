@@ -1,0 +1,85 @@
+"""Admission control: token bucket + queue-depth backpressure.
+
+Unbounded queueing converts overload into unbounded tail latency; a real
+controller sheds load instead. :class:`AdmissionController` gates
+:meth:`NvmeQueuePair.submit <repro.host.nvme.NvmeQueuePair.submit>` (injected
+as a duck-typed ``admission`` object, so the host layer never imports this
+package): a command is admitted only if the sim-time token bucket has a
+token *and* the queue is below its backpressure threshold. A refused command
+completes immediately with a retryable NVMe status — the client backs off
+and retries, which is bounded, instead of parking on a queue forever.
+
+The bucket refills as a pure function of the sim clock (``rate * elapsed``),
+so admission decisions are deterministic given the same request schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    rate_per_s: float = 100_000.0  # sustained tokens (commands) per sim-second
+    burst: float = 64.0  # bucket capacity
+    max_queued: int = 128  # in-flight + waiting beyond which we shed
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0 or self.burst < 1:
+            raise ValueError("token bucket needs positive rate and burst >= 1")
+        if self.max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+
+
+class TokenBucket:
+    """Sim-clock-driven token bucket (no wall clock, no background task)."""
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = burst
+        self._last_refill = 0.0
+
+    def try_take(self, now: float, tokens: float = 1.0) -> bool:
+        if now > self._last_refill:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last_refill) * self.rate_per_s
+            )
+            self._last_refill = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class AdmissionController:
+    """The object :class:`NvmeQueuePair` consults before taking a command."""
+
+    def __init__(self, config: AdmissionConfig = AdmissionConfig()) -> None:
+        self.config = config
+        self.bucket = TokenBucket(config.rate_per_s, config.burst)
+        self.admitted = 0
+        self.shed_rate = 0  # refused: bucket empty
+        self.shed_queue = 0  # refused: queue-depth backpressure
+
+    def admit(self, now: float, queued: int) -> bool:
+        """True to accept the command; False to shed it (retryable reject)."""
+        if queued >= self.config.max_queued:
+            self.shed_queue += 1
+            return False
+        if not self.bucket.try_take(now):
+            self.shed_rate += 1
+            return False
+        self.admitted += 1
+        return True
+
+    @property
+    def shed(self) -> int:
+        return self.shed_rate + self.shed_queue
+
+
+__all__ = ["AdmissionConfig", "AdmissionController", "TokenBucket"]

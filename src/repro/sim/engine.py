@@ -27,6 +27,12 @@ class Event:
     callback: Callable[[], Any] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+
+    @property
+    def live(self) -> bool:
+        """Still pending: neither fired nor cancelled."""
+        return not (self.fired or self.cancelled)
 
 
 class Engine:
@@ -80,9 +86,17 @@ class Engine:
         """Schedule ``callback`` at an absolute simulation time."""
         return self.schedule(time - self._now, callback, name=name)
 
-    def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (no-op if already fired)."""
+    def cancel(self, event: Event) -> bool:
+        """Cancel a previously scheduled event.
+
+        Returns True when the event was still pending (the cancel mattered)
+        and False when it had already fired — the distinction timers need to
+        resolve completion-vs-timeout races deterministically.
+        """
+        if event.fired:
+            return False
         event.cancelled = True
+        return True
 
     def step(self) -> Optional[Event]:
         """Execute the next live event; return it, or None if queue is empty."""
@@ -94,6 +108,7 @@ class Engine:
                 raise RuntimeError("event queue corrupted: time went backwards")
             self._now = event.time
             self._events_fired += 1
+            event.fired = True
             event.callback()
             return event
         return None

@@ -1,0 +1,13 @@
+"""Fixture: trips resilience-unbounded-retry exactly once.
+
+The loop retries forever on timeout — no max_attempts, no deadline — which
+livelocks on a persistently hung channel.
+"""
+
+
+def fetch_with_retry(channel):
+    while True:
+        try:
+            return channel.read()
+        except TimeoutError:
+            continue

@@ -38,6 +38,7 @@ RULE_FIXTURES = {
     "sec_broad_except.py": "sec-broad-except",
     "sim_float_eq.py": "sim-float-eq",
     "sim_private_mutation.py": "sim-private-mutation",
+    "resilience_unbounded_retry.py": "resilience-unbounded-retry",
 }
 
 
@@ -61,7 +62,7 @@ class TestRuleFixtures:
 
     def test_every_rule_family_is_covered(self):
         families = {r.family for r in all_rules()}
-        assert families == {"determinism", "security-flow", "sim-time"}
+        assert families == {"determinism", "resilience", "security-flow", "sim-time"}
         for rule in all_rules():
             assert rule.summary and rule.rationale
 

@@ -263,6 +263,46 @@ class TestEnclaveContainment:
         with pytest.raises(IntegrityError):
             guard.tenants[1].mee.read_line(0, 3)
 
+    def test_restart_replays_committed_writes(self):
+        """Regression: a post-restart read of the last committed line must
+        round-trip — the tamper dies with the old MEE state, not the data."""
+        guard = self._guard()
+        guard.write(1, 2, 1, b"last-commit")  # the final committed write
+        guard.tenants[1].mee.tamper_mac(0, 2)
+        guard.sweep()
+        tenant = guard.restart(1)
+        assert tenant.generation == 1
+        assert guard.read(1, 2, 1) == b"last-commit"
+        for line in range(4):
+            assert guard.read(1, 0, line) == f"t1l{line}".encode()
+        assert guard.live_tenants() == [1, 2]
+
+    def test_restart_replays_last_write_wins(self):
+        """The journal is an epoch: an overwritten line replays its newest
+        payload, in original first-write order."""
+        guard = self._guard()
+        guard.write(1, 0, 1, b"v2-overwrite")
+        guard.tenants[1].mee.tamper_ciphertext(0, 3)
+        guard.sweep()
+        guard.restart(1)
+        assert guard.read(1, 0, 1) == b"v2-overwrite"
+        assert guard.read(1, 0, 0) == b"t1l0"
+
+    def test_restart_without_replay_is_scorched_earth(self):
+        guard = self._guard()
+        guard.tenants[1].mee.tamper_mac(0, 0)
+        guard.sweep()
+        tenant = guard.restart(1, replay=False)
+        assert tenant.lines_written == [] and tenant.journal == {}
+        # the fresh enclave accepts new writes immediately
+        guard.write(1, 0, 0, b"fresh-start")
+        assert guard.read(1, 0, 0) == b"fresh-start"
+
+    def test_restart_of_live_tenant_is_refused(self):
+        guard = self._guard()
+        with pytest.raises(ValueError):
+            guard.restart(2)
+
 
 class TestChaosDeterminism:
     def test_same_seed_identical_log_and_stats(self):

@@ -1,8 +1,10 @@
 """Tests for the NVMe host-interface model."""
 
+import math
+
 import pytest
 
-from repro.host.nvme import NvmeQueuePair, NvmeTiming
+from repro.host.nvme import NvmeQueuePair, NvmeStatus, NvmeTiming
 from repro.host.pcie import PcieLink
 from repro.sim import Engine
 
@@ -108,3 +110,104 @@ class TestQueueing:
             qp.submit("read", 4096)
         qp.run()
         assert qp.latency.percentile(99) >= qp.latency.percentile(50)
+
+
+class TestTimeouts:
+    def test_timeout_aborts_hung_command(self):
+        """A hung die (infinite media time) completes via the abort timer."""
+        engine, qp = make_qp()
+        cmd = qp.submit("read", 4096, device_latency=math.inf, timeout=1e-3)
+        engine.run(until=5e-3)
+        assert cmd.status is NvmeStatus.COMMAND_ABORTED
+        assert cmd.timed_out and cmd.failed
+        assert cmd.latency == pytest.approx(1e-3)
+        assert qp.timeouts == 1
+
+    def test_timeout_releases_the_queue_slot(self):
+        """The abort must free the slot or a hung die wedges the queue."""
+        engine, qp = make_qp(queue_depth=1)
+        hung = qp.submit("read", 4096, device_latency=math.inf, timeout=1e-3)
+        queued = qp.submit("read", 4096)
+        engine.run(until=5e-3)
+        assert hung.timed_out
+        assert queued.status is NvmeStatus.SUCCESS
+        assert queued.completed_at > 1e-3  # issued only after the abort
+
+    def test_timeout_of_a_still_queued_command(self):
+        """A command that never got a slot aborts without freeing one."""
+        engine, qp = make_qp(queue_depth=1)
+        qp.submit("read", 4096, device_latency=math.inf)  # holds the slot
+        waiting = qp.submit("read", 4096, timeout=1e-3)
+        engine.run(until=5e-3)
+        assert waiting.status is NvmeStatus.COMMAND_ABORTED
+        assert qp.timeouts == 1
+
+    def test_fast_completion_disarms_the_timer(self):
+        engine, qp = make_qp()
+        cmd = qp.submit("read", 4096, timeout=50e-3)
+        engine.run(until=100e-3)
+        assert cmd.status is NvmeStatus.SUCCESS
+        assert qp.timeouts == 0
+        assert cmd.timeout_event is None  # cancelled at completion
+
+    def test_per_command_device_latency_override(self):
+        engine, qp = make_qp(device_latency=80e-6)
+        slow = qp.submit("read", 4096, device_latency=800e-6)
+        qp.run()
+        engine2, qp2 = make_qp(device_latency=80e-6)
+        fast = qp2.submit("read", 4096)
+        qp2.run()
+        assert slow.latency > fast.latency
+        assert slow.latency - fast.latency == pytest.approx(720e-6)
+
+
+class _RefuseAll:
+    def __init__(self):
+        self.calls = []
+
+    def admit(self, now, queued):
+        self.calls.append((now, queued))
+        return False
+
+
+class TestAdmission:
+    def test_shed_completes_inline_with_retryable_status(self):
+        engine, qp = make_qp()
+        qp.admission = _RefuseAll()
+        cmd = qp.submit("read", 4096)
+        # no engine.run(): the shed is synchronous at the doorbell
+        assert cmd.status is NvmeStatus.COMMAND_INTERRUPTED
+        assert cmd.status.is_retryable
+        assert cmd.completed_at == engine.now
+        assert qp.admission_rejections == 1
+
+    def test_shed_consumes_no_queue_slot(self):
+        engine, qp = make_qp(queue_depth=1)
+        qp.admission = _RefuseAll()
+        qp.submit("read", 4096)
+        qp.admission = None  # controller relents
+        accepted = qp.submit("read", 4096)
+        qp.run()
+        assert accepted.status is NvmeStatus.SUCCESS
+        assert len(qp.completed) == 2
+
+    def test_controller_sees_current_queue_occupancy(self):
+        engine, qp = make_qp(queue_depth=1)
+        refuser = _RefuseAll()
+        qp.submit("read", 4096)  # admitted (no controller yet), holds the slot
+        qp.submit("read", 4096)  # waits for the slot
+        qp.admission = refuser
+        qp.submit("read", 4096)
+        assert refuser.calls == [(0.0, 2)]  # 1 in flight + 1 waiting
+
+
+class TestStatusSemantics:
+    def test_retryable_statuses(self):
+        assert NvmeStatus.COMMAND_ABORTED.is_retryable
+        assert NvmeStatus.COMMAND_INTERRUPTED.is_retryable
+        assert not NvmeStatus.UNRECOVERED_READ_ERROR.is_retryable
+        assert not NvmeStatus.SUCCESS.is_retryable
+
+    def test_error_statuses(self):
+        assert not NvmeStatus.SUCCESS.is_error
+        assert NvmeStatus.COMMAND_ABORTED.is_error
