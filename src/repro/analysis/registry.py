@@ -69,6 +69,7 @@ def _load_builtin_rules() -> None:
     _LOADED = True
     from repro.analysis.rules import (  # noqa: F401
         determinism,
+        perf,
         resilience,
         security,
         simtime,

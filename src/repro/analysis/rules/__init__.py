@@ -1,1 +1,1 @@
-"""Built-in rule families: determinism, security-flow, sim-time, resilience."""
+"""Built-in rule families: determinism, security-flow, sim-time, resilience, perf."""

@@ -31,7 +31,9 @@ from repro.analysis.registry import Rule, register
 LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
     "sim": frozenset(),
     "crypto": frozenset(),
-    "area": frozenset(),
+    # area models are pure arithmetic but register their memo caches with
+    # the sim-layer stats surface
+    "area": frozenset({"sim"}),
     "analysis": frozenset(),  # the checker must never import the simulator
     "flash": frozenset({"sim", "crypto"}),
     "dram": frozenset({"sim"}),
@@ -54,7 +56,13 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
     "resilience": frozenset(
         {"core", "crypto", "faults", "flash", "ftl", "host", "platform", "sim"}
     ),
-    "cli": frozenset({"analysis", "faults", "platform", "resilience", "workloads"}),
+    # perf tooling (profiler, parallel figure runner, bench harness) drives
+    # whole experiments, so it sits just below the CLI in the DAG
+    "perf": frozenset(
+        {"analysis", "core", "faults", "flash", "platform", "query",
+         "resilience", "sim", "workloads"}
+    ),
+    "cli": frozenset({"analysis", "faults", "perf", "platform", "resilience", "workloads"}),
 }
 
 

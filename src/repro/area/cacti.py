@@ -11,6 +11,9 @@ key/IV registers, and control).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.sim.stats import register_memo
 
 KIB = 1024
 
@@ -64,6 +67,36 @@ CONTROL_KGATES_PER_CHANNEL = 1.5
 PAGE_BUFFER_KIB_PER_CHANNEL = 8  # double-buffered 4 KB pages
 
 
+@lru_cache(maxsize=None)
+def engine_mm2_for(channels: int, node: TechnologyNode) -> float:
+    """Cipher-engine area for one (channel count, node) point.
+
+    Pure lookup over frozen inputs; energy/area sweeps query the same few
+    points thousands of times.
+    """
+    model = AreaModel(node)
+    per_channel = (
+        model.logic_area(TRIVIUM_CORE_KGATES + CONTROL_KGATES_PER_CHANNEL)
+        + model.sram_area(PAGE_BUFFER_KIB_PER_CHANNEL)
+    )
+    shared = model.logic_area(4.0)  # key store, PRNG, config registers
+    return channels * per_channel + shared
+
+
+@lru_cache(maxsize=None)
+def page_energy_pj_for(node: TechnologyNode, page_bytes: int, bits_per_cycle: int) -> float:
+    """Per-page cipher energy for one (node, page, width) point."""
+    model = AreaModel(node)
+    cycles = page_bytes * 8 / bits_per_cycle
+    logic = model.logic_energy(TRIVIUM_CORE_KGATES, cycles)
+    buffers = model.sram_energy(2 * page_bytes / 64)  # in + out buffer
+    return logic + buffers
+
+
+register_memo("area.cacti.engine_mm2", engine_mm2_for)
+register_memo("area.cacti.page_energy", page_energy_pj_for)
+
+
 @dataclass(frozen=True)
 class CipherEngineArea:
     """Stream-cipher engine area vs. the SSD controller (§5)."""
@@ -73,13 +106,7 @@ class CipherEngineArea:
     controller_mm2: float = 60.0  # Intel DC P4500-class controller die
 
     def engine_mm2(self) -> float:
-        model = AreaModel(self.node)
-        per_channel = (
-            model.logic_area(TRIVIUM_CORE_KGATES + CONTROL_KGATES_PER_CHANNEL)
-            + model.sram_area(PAGE_BUFFER_KIB_PER_CHANNEL)
-        )
-        shared = model.logic_area(4.0)  # key store, PRNG, config registers
-        return self.channels * per_channel + shared
+        return engine_mm2_for(self.channels, self.node)
 
     def overhead_fraction(self) -> float:
         """Engine area as a fraction of the controller die (paper: 1.6%)."""
@@ -87,8 +114,4 @@ class CipherEngineArea:
 
     def energy_per_page_pj(self, page_bytes: int = 4096, bits_per_cycle: int = 64) -> float:
         """Dynamic energy to cipher one flash page."""
-        model = AreaModel(self.node)
-        cycles = page_bytes * 8 / bits_per_cycle
-        logic = model.logic_energy(TRIVIUM_CORE_KGATES, cycles)
-        buffers = model.sram_energy(2 * page_bytes / 64)  # in + out buffer
-        return logic + buffers
+        return page_energy_pj_for(self.node, page_bytes, bits_per_cycle)

@@ -11,6 +11,9 @@ Examples::
     python -m repro chaos tpch-q1 --seed 42
     python -m repro resilience --seed 7 --quick
     python -m repro lint src --format json
+    python -m repro profile tpcc --scheme iceclave --top 15
+    python -m repro bench --quick --jobs 4
+    python -m repro compare wordcount --jobs 4
 """
 
 from __future__ import annotations
@@ -105,8 +108,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if _check_workload(args.workload) is None:
         return 2
     config = _build_config(args)
-    profile = _make_profile(args)
-    results = {s: make_platform(s, config).run(profile) for s in sorted(SCHEMES)}
+    jobs = getattr(args, "jobs", 1) or 1
+    schemes = sorted(SCHEMES)
+    from repro.perf import map_points, platform_point
+
+    seed = getattr(args, "seed", None)
+    specs = [platform_point(args.workload, s, config, seed=seed) for s in schemes]
+    results = dict(zip(schemes, map_points(specs, jobs=jobs)))
     host = results["host"]
     print(f"{args.workload}: ({config.channels} channels, "
           f"{config.dataset_bytes / GIB:.0f} GB dataset)")
@@ -121,7 +129,6 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     if _check_workload(args.workload) is None:
         return 2
-    profile = _make_profile(args)
     base = _build_config(args)
     if args.parameter == "channels":
         points = [(f"{ch}ch", base.with_channels(ch)) for ch in (4, 8, 16, 32)]
@@ -132,14 +139,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
     else:  # dram
         points = [(f"{gb}GB", base.with_dram(gb * GIB)) for gb in (2, 4, 8)]
+    from repro.perf import map_points, platform_point
+
+    jobs = getattr(args, "jobs", 1) or 1
+    seed = getattr(args, "seed", None)
+    sweep_schemes = ("host", "isc", "iceclave")
+    specs = [
+        platform_point(args.workload, scheme, cfg, seed=seed)
+        for _, cfg in points
+        for scheme in sweep_schemes
+    ]
+    results = map_points(specs, jobs=jobs)
     print(f"{args.workload}: sweeping {args.parameter}")
     print(f"{'point':>8s} {'host':>9s} {'isc':>9s} {'iceclave':>9s} {'ice/host':>9s}")
-    for label, cfg in points:
-        host = make_platform("host", cfg).run(profile)
-        isc = make_platform("isc", cfg).run(profile)
-        ice = make_platform("iceclave", cfg).run(profile)
+    for idx, (label, _) in enumerate(points):
+        host, isc, ice = results[idx * 3: idx * 3 + 3]
         print(f"{label:>8s} {host.total_time:8.2f}s {isc.total_time:8.2f}s "
               f"{ice.total_time:8.2f}s {ice.speedup_over(host):8.2f}x")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    if _check_workload(args.workload) is None:
+        return 2
+    from repro.perf.profiler import profile_run
+
+    config = _build_config(args)
+    report = profile_run(
+        args.workload,
+        scheme=args.scheme,
+        config=config,
+        seed=getattr(args, "seed", None),
+        sort=args.sort,
+        top=args.top,
+    )
+    print(report.format())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.perf.bench import (
+        check_regression,
+        format_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    payload = run_bench(quick=args.quick, jobs=args.jobs)
+    print(format_bench(payload))
+    path = write_bench(payload, pathlib.Path(args.out))
+    print(f"wrote {path}")
+    if args.check:
+        baseline = load_bench(pathlib.Path(args.check))
+        problems = check_regression(payload, baseline)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check}")
     return 0
 
 
@@ -234,13 +294,45 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="run all four schemes")
     compare.add_argument("workload")
     _add_config_flags(compare)
+    _add_jobs_flag(compare)
     compare.set_defaults(func=cmd_compare)
 
     sweep = sub.add_parser("sweep", help="sensitivity sweep (Figs 12/14/16)")
     sweep.add_argument("parameter", choices=("channels", "latency", "dram"))
     sweep.add_argument("workload")
     _add_config_flags(sweep)
+    _add_jobs_flag(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile one workload run plus simulator-side counters",
+    )
+    prof.add_argument("workload")
+    prof.add_argument("--scheme", default="iceclave", choices=sorted(SCHEMES))
+    prof.add_argument("--top", type=int, default=25, help="profile rows to print")
+    prof.add_argument(
+        "--sort", default="cumulative", choices=("cumulative", "tottime", "ncalls")
+    )
+    _add_config_flags(prof)
+    prof.set_defaults(func=cmd_profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure the benchmark trajectory and write BENCH_<n>.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="smaller parameters for CI smoke"
+    )
+    bench.add_argument(
+        "--out", default=".", help="directory for BENCH_<n>.json (default .)"
+    )
+    bench.add_argument(
+        "--check", metavar="BASELINE",
+        help="fail (exit 1) on >25%% calibration-normalized regression vs this file",
+    )
+    _add_jobs_flag(bench)
+    bench.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(
         "lint",
@@ -292,6 +384,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for independent experiment points (default 1; "
+        "results are byte-identical to serial at any value)",
+    )
+
+
 def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--channels", type=int, help="flash channels (default 8)")
     parser.add_argument("--dram-gb", type=int, help="SSD DRAM capacity in GB")
@@ -307,6 +407,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "seed", None) is not None and args.seed < 0:
         print("error: --seed must be a non-negative integer", file=sys.stderr)
+        return 2
+    if getattr(args, "jobs", None) is not None and args.jobs < 1:
+        print("error: --jobs must be a positive integer", file=sys.stderr)
         return 2
     try:
         return args.func(args)

@@ -16,6 +16,16 @@ from typing import Hashable, Optional, Tuple
 class CounterCache:
     """Fully associative LRU cache over 64-byte metadata lines."""
 
+    __slots__ = (
+        "capacity_lines",
+        "line_bytes",
+        "_lru",
+        "hits",
+        "misses",
+        "dirty_evictions",
+        "clean_evictions",
+    )
+
     def __init__(self, capacity_bytes: int, line_bytes: int = 64) -> None:
         if capacity_bytes < line_bytes:
             raise ValueError("cache smaller than one line")
@@ -36,21 +46,22 @@ class CounterCache:
         nothing dirty was evicted.
         """
         dirty_victim = None
-        if key in self._lru:
+        lru = self._lru
+        if key in lru:
             self.hits += 1
-            self._lru.move_to_end(key)
+            lru.move_to_end(key)
             if dirty:
-                self._lru[key] = True
+                lru[key] = True
             return True, dirty_victim
         self.misses += 1
-        if len(self._lru) >= self.capacity_lines:
-            victim_key, victim_dirty = self._lru.popitem(last=False)
+        if len(lru) >= self.capacity_lines:
+            victim_key, victim_dirty = lru.popitem(last=False)
             if victim_dirty:
                 self.dirty_evictions += 1
                 dirty_victim = victim_key
             else:
                 self.clean_evictions += 1
-        self._lru[key] = dirty
+        lru[key] = dirty
         return False, dirty_victim
 
     def contains(self, key: Hashable) -> bool:

@@ -73,12 +73,22 @@ class TriviumFast:
         """Generate ``nbytes`` of keystream (LSB-first bit packing)."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        while len(self._buffer) < nbytes:
-            self._buffer += self._block().to_bytes(8, "little")
+        buffered = len(self._buffer)
+        if buffered < nbytes:
+            # batch the block generation: collect whole 8-byte words and join
+            # once, instead of growing an immutable bytes object per block
+            needed_blocks = (nbytes - buffered + 7) >> 3
+            block = self._block
+            words = [block().to_bytes(8, "little") for _ in range(needed_blocks)]
+            self._buffer += b"".join(words)
         out, self._buffer = self._buffer[:nbytes], self._buffer[nbytes:]
         return out
 
     def process(self, data: bytes) -> bytes:
         """XOR ``data`` with keystream (encryption and decryption alike)."""
         stream = self.keystream(len(data))
-        return bytes(d ^ s for d, s in zip(data, stream))
+        n = len(data)
+        # one big-int XOR instead of a per-byte generator
+        return (
+            int.from_bytes(data, "little") ^ int.from_bytes(stream, "little")
+        ).to_bytes(n, "little")

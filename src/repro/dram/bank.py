@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.dram.timing import DramTiming
+from repro.dram.timing import DramTiming, bank_cycles
 
 
 class Bank:
@@ -27,28 +27,37 @@ class Bank:
         self.hits = 0
         self.misses = 0
         self.conflicts = 0
+        # per-access latencies as plain ints (memoized across banks sharing
+        # one timing config; controllers create total_banks of these)
+        (
+            self._hit_cycles,
+            self._miss_cycles,
+            self._conflict_cycles,
+            self._write_penalty,
+        ) = bank_cycles(timing)
+        self._t_ras = timing.t_ras
+        self._t_rp = timing.t_rp
 
     def access(self, row: int, now: float, is_write: bool) -> float:
         """Issue an access to ``row`` at cycle ``now``; returns finish cycle."""
-        t = self.timing
         start = max(now, self.ready_cycle)
         if self.open_row == row:
             self.hits += 1
-            finish = start + t.row_hit_cycles
+            finish = start + self._hit_cycles
         elif self.open_row is None:
             self.misses += 1
-            finish = start + t.row_miss_cycles
+            finish = start + self._miss_cycles
             self.activate_cycle = start
             self.open_row = row
         else:
             self.conflicts += 1
             # respect tRAS before precharging the old row
-            pre_start = max(start, self.activate_cycle + t.t_ras)
-            finish = pre_start + t.row_conflict_cycles
-            self.activate_cycle = pre_start + t.t_rp
+            pre_start = max(start, self.activate_cycle + self._t_ras)
+            finish = pre_start + self._conflict_cycles
+            self.activate_cycle = pre_start + self._t_rp
             self.open_row = row
         if is_write:
-            finish += t.t_wr - t.t_cl if t.t_wr > t.t_cl else 0
+            finish += self._write_penalty
         self.ready_cycle = finish
         return finish
 

@@ -7,6 +7,10 @@ on both edges, so a 64-byte burst over a 64-bit bus takes 4 cycles (8 beats).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+from repro.sim.stats import register_memo
 
 
 @dataclass(frozen=True)
@@ -69,3 +73,22 @@ class DramTiming:
         """Bytes/second across all channels at full burst utilization."""
         bursts_per_second = self.clock_hz / self.burst_cycles
         return bursts_per_second * self.line_bytes * self.channels
+
+
+@lru_cache(maxsize=None)
+def bank_cycles(timing: DramTiming) -> Tuple[int, int, int, int]:
+    """(hit, miss, conflict, write-penalty) cycles for one timing config.
+
+    Pure in the frozen ``timing``; banks call this once at construction so
+    per-access latencies are plain ints instead of property chains.
+    """
+    write_penalty = timing.t_wr - timing.t_cl if timing.t_wr > timing.t_cl else 0
+    return (
+        timing.row_hit_cycles,
+        timing.row_miss_cycles,
+        timing.row_conflict_cycles,
+        write_penalty,
+    )
+
+
+register_memo("dram.timing.bank_cycles", bank_cycles)

@@ -48,32 +48,46 @@ class FlashGeometry:
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        # aggregate products are asked for on every address decomposition;
+        # precompute them once (object.__setattr__ because frozen)
+        chips = self.channels * self.chips_per_channel
+        dies = chips * self.dies_per_chip
+        planes = dies * self.planes_per_die
+        blocks = planes * self.blocks_per_plane
+        pages = blocks * self.pages_per_block
+        object.__setattr__(self, "_total_chips", chips)
+        object.__setattr__(self, "_total_dies", dies)
+        object.__setattr__(self, "_total_planes", planes)
+        object.__setattr__(self, "_total_blocks", blocks)
+        object.__setattr__(self, "_total_pages", pages)
 
-    # -- aggregate sizes ---------------------------------------------------
+    # -- aggregate sizes (instance attrs precomputed in __post_init__;
+    # deliberately not annotated so the dataclass does not treat them as
+    # fields) --------------------------------------------------------------
 
     @property
     def total_chips(self) -> int:
-        return self.channels * self.chips_per_channel
+        return self._total_chips
 
     @property
     def total_dies(self) -> int:
-        return self.total_chips * self.dies_per_chip
+        return self._total_dies
 
     @property
     def total_planes(self) -> int:
-        return self.total_dies * self.planes_per_die
+        return self._total_planes
 
     @property
     def total_blocks(self) -> int:
-        return self.total_planes * self.blocks_per_plane
+        return self._total_blocks
 
     @property
     def total_pages(self) -> int:
-        return self.total_blocks * self.pages_per_block
+        return self._total_pages
 
     @property
     def capacity_bytes(self) -> int:
-        return self.total_pages * self.page_bytes
+        return self._total_pages * self.page_bytes
 
     @property
     def block_bytes(self) -> int:
@@ -118,12 +132,22 @@ class FlashGeometry:
             if not 0 <= value < bound:
                 raise ValueError(f"{name} {value} out of range [0, {bound})")
 
+    def channel_and_die(self, ppa: int) -> "tuple[int, int]":
+        """(channel, global die index) for ``ppa`` with minimal arithmetic.
+
+        The device issue path needs exactly these two coordinates per page
+        operation; this skips the full :class:`PhysicalAddress` build.
+        """
+        if not 0 <= ppa < self._total_pages:
+            raise ValueError(f"PPA {ppa} out of range [0, {self._total_pages})")
+        rest, channel = divmod(ppa, self.channels)
+        rest, chip = divmod(rest, self.chips_per_channel)
+        die = rest % self.dies_per_chip
+        return channel, (channel * self.chips_per_channel + chip) * self.dies_per_chip + die
+
     def die_index(self, ppa: int) -> int:
         """Global die index for ``ppa`` (used to pick the die resource)."""
-        addr = self.decompose(ppa)
-        return (
-            addr.channel * self.chips_per_channel + addr.chip
-        ) * self.dies_per_chip + addr.die
+        return self.channel_and_die(ppa)[1]
 
     def plane_index(self, ppa: int) -> int:
         """Global plane index for ``ppa``."""

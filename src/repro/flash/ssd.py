@@ -44,20 +44,28 @@ class FlashDevice:
         ]
         self.dies = [Resource(engine, f"die{i}") for i in range(self.geometry.total_dies)]
         self.stats = StatRegistry()
+        # hot-path handles: one registry lookup at construction, not per page
+        self._page_reads = self.stats.counter("page_reads")
+        self._page_writes = self.stats.counter("page_writes")
+        self._block_erases = self.stats.counter("block_erases")
+        self._page_transfer_time = self.timing.transfer_time(self.geometry.page_bytes)
 
     # -- single-page operations ---------------------------------------------
 
     def read(self, ppa: int, on_done: Callback = None, data_sink: Optional[list] = None) -> None:
         """Schedule a page read: die sense (t_RD), then channel transfer."""
-        addr = self.geometry.decompose(ppa)
-        die = self.geometry.die_index(ppa)
-        self.stats.counter("page_reads").add()
-
-        def after_sense() -> None:
-            self.channels[addr.channel].acquire(
-                self.timing.transfer_time(self.geometry.page_bytes),
-                on_done=lambda: self._finish_read(ppa, on_done, data_sink),
-            )
+        channel, die = self.geometry.channel_and_die(ppa)
+        self._page_reads.add()
+        if self.chip is None and data_sink is None:
+            # timing-only fast path: skip the _finish_read trampoline
+            def after_sense() -> None:
+                self.channels[channel].acquire(self._page_transfer_time, on_done=on_done)
+        else:
+            def after_sense() -> None:
+                self.channels[channel].acquire(
+                    self._page_transfer_time,
+                    on_done=lambda: self._finish_read(ppa, on_done, data_sink),
+                )
 
         self.dies[die].acquire(self.timing.read_latency, on_done=after_sense)
 
@@ -69,9 +77,8 @@ class FlashDevice:
 
     def write(self, ppa: int, data: Optional[bytes] = None, on_done: Callback = None) -> None:
         """Schedule a page program: channel transfer, then die program."""
-        addr = self.geometry.decompose(ppa)
-        die = self.geometry.die_index(ppa)
-        self.stats.counter("page_writes").add()
+        channel, die = self.geometry.channel_and_die(ppa)
+        self._page_writes.add()
         if self.chip is not None:
             # functional state changes immediately (command ordering is FIFO)
             self.chip.program(ppa, data if self.chip.store_data else None)
@@ -79,10 +86,7 @@ class FlashDevice:
         def after_transfer() -> None:
             self.dies[die].acquire(self.timing.program_latency, on_done=on_done)
 
-        self.channels[addr.channel].acquire(
-            self.timing.transfer_time(self.geometry.page_bytes),
-            on_done=after_transfer,
-        )
+        self.channels[channel].acquire(self._page_transfer_time, on_done=after_transfer)
 
     def erase(self, block: int, on_done: Callback = None) -> None:
         """Schedule a block erase on its die."""
@@ -90,7 +94,7 @@ class FlashDevice:
             self.chip.erase(block)
         plane = block // self.geometry.blocks_per_plane
         die = plane // self.geometry.planes_per_die
-        self.stats.counter("block_erases").add()
+        self._block_erases.add()
         self.dies[die].acquire(self.timing.erase_latency, on_done=on_done)
 
     # -- batched operations ---------------------------------------------------

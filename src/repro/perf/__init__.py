@@ -1,0 +1,31 @@
+"""Performance tooling: profiler, deterministic parallel runner, bench.
+
+Three pieces, all sitting just below the CLI:
+
+- :mod:`repro.perf.parallel` — fan experiment *points* (scheme runs, chaos
+  campaigns, resilience experiments) across worker processes with a
+  fixed-order merge, so ``--jobs N`` output is byte-identical to serial;
+- :mod:`repro.perf.profiler` — cProfile harness plus the simulator-side
+  counters (memo hit rates, counter-cache stats) for one workload run;
+- :mod:`repro.perf.bench` — the benchmark trajectory: wall-clock,
+  events/sec and peak RSS per figure workload, written as ``BENCH_<n>.json``
+  and regression-gated against a committed baseline in CI.
+
+See docs/PERFORMANCE.md for the methodology and the optimization inventory.
+"""
+
+from repro.perf.parallel import (
+    chaos_point,
+    execute_point,
+    map_points,
+    platform_point,
+    resilience_point,
+)
+
+__all__ = [
+    "chaos_point",
+    "execute_point",
+    "map_points",
+    "platform_point",
+    "resilience_point",
+]

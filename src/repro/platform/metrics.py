@@ -9,6 +9,7 @@ summaries, which is how the resilience CLI proves determinism.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -52,6 +53,24 @@ class RunResult:
         )
         result.reliability = dict(report.reliability)
         return result
+
+    def fingerprint(self) -> str:
+        """Stable content hash: equal runs ⇒ equal hex digest.
+
+        Floats are rendered with ``repr`` (shortest round-trip form), so
+        serial and parallel executions of the same point hash identically
+        only when every value is byte-identical — which is how the perf
+        layer proves ``--jobs N`` changes nothing.
+        """
+        parts = [self.workload, self.scheme, repr(self.total_time)]
+        for label, mapping in (
+            ("components", self.components),
+            ("stats", self.stats),
+            ("reliability", self.reliability),
+        ):
+            for key in sorted(mapping):
+                parts.append(f"{label}.{key}={mapping[key]!r}")
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (>1 = faster)."""

@@ -7,7 +7,13 @@ flash, DRAM, and platform timing models are built on top of it.
 
 from repro.sim.engine import Engine, Event
 from repro.sim.resource import Resource
-from repro.sim.stats import Counter, Histogram, StatRegistry
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    StatRegistry,
+    memo_cache_stats,
+    register_memo,
+)
 
 __all__ = [
     "Engine",
@@ -16,4 +22,6 @@ __all__ = [
     "Counter",
     "Histogram",
     "StatRegistry",
+    "memo_cache_stats",
+    "register_memo",
 ]

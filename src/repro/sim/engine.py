@@ -3,47 +3,75 @@
 Time is a float in seconds. Events scheduled at equal times fire in the
 order they were scheduled (a monotonically increasing sequence number breaks
 ties), which keeps runs deterministic.
+
+Performance notes (see docs/PERFORMANCE.md): heap entries are plain
+``(time, seq, callback, handle)`` tuples so the heap compares at C speed
+and never falls through to Python-level ``__lt__`` — ``seq`` is unique, so
+comparison always resolves on the first two slots. :meth:`Engine.schedule`
+allocates an :class:`Event` handle (needed for :meth:`Engine.cancel`);
+:meth:`Engine.schedule_after` is the fire-and-forget fast path that skips
+the handle entirely. Cancelled entries are skipped lazily on pop, and the
+heap is compacted whenever cancelled entries outnumber live ones, which
+bounds memory under heavy hedged-read cancellation.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+# Compact below this queue size is not worth the rebuild.
+_COMPACT_MIN_QUEUE = 64
+
+_Entry = Tuple[float, int, Callable[[], Any], Optional["Event"]]
 
 
-@dataclass(order=True)
 class Event:
-    """A single scheduled callback.
+    """A cancellable handle for one scheduled callback.
 
-    Events compare by (time, seq) so the heap pops them in deterministic
-    order. ``cancelled`` events stay in the heap but are skipped when popped;
-    this is cheaper than a heap removal and is how :meth:`Engine.cancel`
-    works.
+    Handles are *not* heap entries (tuples are, for comparison speed); they
+    exist so :meth:`Engine.cancel` can mark an entry dead and so timers can
+    distinguish fired-vs-cancelled races deterministically.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        name: str = "",
+        cancelled: bool = False,
+        fired: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = cancelled
+        self.fired = fired
 
     @property
     def live(self) -> bool:
         """Still pending: neither fired nor cancelled."""
         return not (self.fired or self.cancelled)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"Event(t={self.time!r}, seq={self.seq}, {state}, name={self.name!r})"
+
 
 class Engine:
     """A minimal deterministic discrete-event simulation engine."""
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: List[_Entry] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._events_fired: int = 0
         self._running: bool = False
+        self._cancelled_pending: int = 0  # cancelled entries still in the heap
 
     @property
     def now(self) -> float:
@@ -58,7 +86,12 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled_pending
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap size including not-yet-reclaimed cancelled entries."""
+        return len(self._queue)
 
     def schedule(
         self,
@@ -73,9 +106,22 @@ class Engine:
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        event = Event(time=self._now + delay, seq=self._seq, callback=callback, name=name)
-        heapq.heappush(self._queue, event)
+        event = Event(self._now + delay, self._seq, callback, name)
+        heapq.heappush(self._queue, (event.time, self._seq, callback, event))
         return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], Any]) -> None:
+        """Fire-and-forget fast path: schedule without a cancel handle.
+
+        Skips the :class:`Event` allocation entirely; use for the vast
+        majority of events that are never cancelled (resource completions,
+        pipeline stages). Falls back to :meth:`schedule` when you need the
+        handle.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback, None))
 
     def schedule_at(
         self,
@@ -95,21 +141,53 @@ class Engine:
         """
         if event.fired:
             return False
-        event.cancelled = True
+        if not event.cancelled:
+            event.cancelled = True
+            self._cancelled_pending += 1
+            self._maybe_compact()
         return True
 
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries outnumber live ones.
+
+        Without this, a workload that schedules-and-cancels (hedged reads,
+        per-command timeout timers) grows the heap without bound: cancelled
+        entries are only reclaimed when their time comes up.
+        """
+        queue = self._queue
+        if len(queue) < _COMPACT_MIN_QUEUE:
+            return
+        if self._cancelled_pending * 2 <= len(queue):
+            return
+        # in-place so aliases held by a running run() loop stay valid
+        queue[:] = [
+            entry for entry in queue if entry[3] is None or not entry[3].cancelled
+        ]
+        heapq.heapify(queue)
+        self._cancelled_pending = 0
+
     def step(self) -> Optional[Event]:
-        """Execute the next live event; return it, or None if queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        """Execute the next live event; return its handle, or None if empty.
+
+        Fast-path entries (from :meth:`schedule_after`) have no persistent
+        handle; for those a transient, already-fired :class:`Event` is
+        returned so callers still observe time/seq.
+        """
+        queue = self._queue
+        while queue:
+            time, seq, callback, event = heapq.heappop(queue)
+            if event is not None and event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            if event.time < self._now:
+            if time < self._now:
                 raise RuntimeError("event queue corrupted: time went backwards")
-            self._now = event.time
+            self._now = time
             self._events_fired += 1
-            event.fired = True
-            event.callback()
+            if event is None:
+                event = Event(time, seq, callback, fired=True)  # repro: allow[perf-hot-loop-alloc] -- runs once per step() (loop only skips cancelled entries); the Event is the return value
+            else:
+                event.fired = True
+            callback()
             return event
         return None
 
@@ -121,19 +199,33 @@ class Engine:
         if self._running:
             raise RuntimeError("engine is already running (no reentrant run)")
         self._running = True
+        # the pop loop is inlined (rather than calling step()) and binds
+        # hot globals locally: this loop is the simulator's innermost path
+        pop = heapq.heappop
+        queue = self._queue
         try:
             fired = 0
-            while self._queue:
-                nxt = self._queue[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                head = queue[0]
+                event = head[3]
+                if event is not None and event.cancelled:
+                    pop(queue)
+                    self._cancelled_pending -= 1
                     continue
-                if until is not None and nxt.time > until:
+                time = head[0]
+                if until is not None and time > until:
                     self._now = until
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                self.step()
+                pop(queue)
+                if time < self._now:
+                    raise RuntimeError("event queue corrupted: time went backwards")
+                self._now = time
+                self._events_fired += 1
+                if event is not None:
+                    event.fired = True
+                head[2]()
                 fired += 1
             else:
                 if until is not None and until > self._now:
@@ -148,3 +240,4 @@ class Engine:
         self._now = 0.0
         self._seq = 0
         self._events_fired = 0
+        self._cancelled_pending = 0

@@ -9,17 +9,13 @@ callback when the job's service completes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.sim.engine import Engine
 
-
-@dataclass
-class _Job:
-    service_time: float
-    on_done: Optional[Callable[[], Any]]
-    enqueue_time: float
+# (service_time, on_done, enqueue_time) — a plain tuple, not a dataclass:
+# one is allocated per job on the simulator's hottest path
+_Job = Tuple[float, Optional[Callable[[], Any]], float]
 
 
 class Resource:
@@ -60,28 +56,28 @@ class Resource:
         """
         if service_time < 0:
             raise ValueError("service_time must be non-negative")
-        job = _Job(service_time, on_done, self.engine.now)
         if self._busy < self.servers:
-            self._start(job)
+            self._start((service_time, on_done, self.engine.now))
         else:
-            self._waiting.append(job)
+            self._waiting.append((service_time, on_done, self.engine.now))
             if len(self._waiting) > self.max_queue_depth:
                 self.max_queue_depth = len(self._waiting)
 
     def _start(self, job: _Job) -> None:
         self._busy += 1
-        wait = self.engine.now - job.enqueue_time
-        self.total_wait_time += wait
-        self.engine.schedule(job.service_time, lambda: self._finish(job), name=f"{self.name}.done")
+        self.total_wait_time += self.engine.now - job[2]
+        # completions are never cancelled: take the no-handle fast path
+        self.engine.schedule_after(job[0], lambda: self._finish(job))
 
     def _finish(self, job: _Job) -> None:
         self._busy -= 1
         self.jobs_completed += 1
-        self.total_service_time += job.service_time
+        self.total_service_time += job[0]
         if self._waiting:
             self._start(self._waiting.popleft())
-        if job.on_done is not None:
-            job.on_done()
+        on_done = job[1]
+        if on_done is not None:
+            on_done()
 
     def utilization(self) -> float:
         """Fraction of server-time spent busy since time zero."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -43,8 +43,46 @@ class ReliabilityStats:
             setattr(self, f.name, 0.0 if f.name == "added_latency_s" else 0)
 
 
+# -- memoization surface -------------------------------------------------------
+#
+# Modules that wrap pure lookup helpers in functools.lru_cache register them
+# here so profiling/bench tooling can surface hit rates without importing
+# every subsystem (the registry is name -> zero-arg cache_info-like callable).
+_MEMO_FUNCS: Dict[str, Callable[[], Any]] = {}
+
+
+def register_memo(name: str, cached_func: Any) -> Any:
+    """Register an ``lru_cache``-wrapped function for hit-rate reporting.
+
+    Returns the function unchanged so it can be used as a decorator tail:
+    ``helper = register_memo("dram.timing", lru_cache(...)(helper))``.
+    """
+    _MEMO_FUNCS[name] = cached_func.cache_info
+    return cached_func
+
+
+def memo_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size snapshot of every registered memoized helper."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name in sorted(_MEMO_FUNCS):
+        info = _MEMO_FUNCS[name]()
+        out[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.currsize,
+        }
+    return out
+
+
 class Counter:
-    """A named monotonically increasing counter."""
+    """A named monotonically increasing counter.
+
+    Hot paths should hold the Counter object itself (one registry lookup,
+    then ``add`` per event) rather than calling ``registry.counter(name)``
+    per event.
+    """
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str, value: int = 0) -> None:
         self.name = name
@@ -69,6 +107,8 @@ class Histogram:
     sample count; optional sample retention supports percentile queries in
     tests.
     """
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max", "_samples")
 
     def __init__(self, name: str, keep_samples: bool = False) -> None:
         self.name = name

@@ -1,0 +1,9 @@
+"""Fixture: perf-hot-loop-alloc must fire exactly once."""
+# analysis-module: repro.core.hotpath_fixture
+
+
+def keystream(blocks: int) -> bytes:
+    buffer = b""
+    for i in range(blocks):
+        buffer += i.to_bytes(8, "little")
+    return buffer

@@ -31,6 +31,7 @@ RULE_FIXTURES = {
     "det_wallclock.py": "det-wallclock",
     "det_id_order.py": "det-id-order",
     "det_unordered_iter.py": "det-unordered-iter",
+    "perf_hot_loop_alloc.py": "perf-hot-loop-alloc",
     "sec_layering.py": "sec-layering",
     "sec_key_containment.py": "sec-key-containment",
     "sec_boundary_bypass.py": "sec-boundary-bypass",
@@ -62,7 +63,13 @@ class TestRuleFixtures:
 
     def test_every_rule_family_is_covered(self):
         families = {r.family for r in all_rules()}
-        assert families == {"determinism", "resilience", "security-flow", "sim-time"}
+        assert families == {
+            "determinism",
+            "perf",
+            "resilience",
+            "security-flow",
+            "sim-time",
+        }
         for rule in all_rules():
             assert rule.summary and rule.rationale
 

@@ -3,20 +3,26 @@
 
 Usage::
 
-    python tools/export_figure_data.py [output_dir]
+    python tools/export_figure_data.py [output_dir] [--jobs N]
 
 Writes one CSV per table/figure into ``output_dir`` (default
 ``figure_data/``), using the shared series builders in
 :mod:`repro.platform.figures`.
+
+``--jobs N`` fans the independent chaos campaigns behind
+``reliability_chaos.csv`` across N worker processes via
+:mod:`repro.perf.parallel`; every campaign carries its own seed, and the
+results merge back in workload order, so the CSVs are byte-identical at
+any job count.
 """
 
 from __future__ import annotations
 
+import argparse
 import csv
 import pathlib
-import sys
 
-from repro.faults import run_chaos
+from repro.perf.parallel import chaos_point, map_points
 from repro.platform import PlatformConfig
 from repro.platform import figures
 from repro.workloads import workload_by_name
@@ -30,7 +36,7 @@ def write_csv(path: pathlib.Path, header, rows) -> None:
     print(f"wrote {path}")
 
 
-def main(out_dir: str = "figure_data") -> int:
+def main(out_dir: str = "figure_data", jobs: int = 1) -> int:
     out = pathlib.Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     profiles = {n: workload_by_name(n).run() for n in figures.WORKLOAD_ORDER}
@@ -100,11 +106,17 @@ def main(out_dir: str = "figure_data") -> int:
               [(n, enc, ver) for n, (enc, ver) in traffic.items()])
 
     # reliability: one chaos campaign per workload, fixed seed, so the
-    # fault/recovery counters can be plotted alongside the perf series
+    # fault/recovery counters can be plotted alongside the perf series.
+    # Campaigns are independent points (seed travels in the spec), so they
+    # fan out across --jobs workers and merge back in workload order.
+    specs = [
+        chaos_point(name, profiles[name].write_ratio, seed=42, ops=2000)
+        for name in figures.WORKLOAD_ORDER
+    ]
+    reports = map_points(specs, jobs=jobs)
     chaos_rows = []
     counter_names = None
-    for name in figures.WORKLOAD_ORDER:
-        report = run_chaos(name, profiles[name].write_ratio, seed=42, ops=2000)
+    for name, report in zip(figures.WORKLOAD_ORDER, reports):
         rel = report.reliability
         if counter_names is None:
             counter_names = sorted(rel)
@@ -118,4 +130,9 @@ def main(out_dir: str = "figure_data") -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1] if len(sys.argv) > 1 else "figure_data"))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out_dir", nargs="?", default="figure_data")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for independent points")
+    cli = parser.parse_args()
+    raise SystemExit(main(cli.out_dir, jobs=max(1, cli.jobs)))
