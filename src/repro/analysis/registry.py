@@ -70,6 +70,7 @@ def _load_builtin_rules() -> None:
     from repro.analysis.rules import (  # noqa: F401
         determinism,
         perf,
+        recovery,
         resilience,
         security,
         simtime,

@@ -62,7 +62,16 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
         {"analysis", "core", "faults", "flash", "platform", "query",
          "resilience", "sim", "workloads"}
     ),
-    "cli": frozenset({"analysis", "faults", "perf", "platform", "resilience", "workloads"}),
+    # checkpoint/restore composes every stateful layer's snapshot_state();
+    # the monitored layers stay duck-typed (they never import recovery back)
+    "recovery": frozenset(
+        {"core", "crypto", "faults", "flash", "ftl", "host", "platform",
+         "resilience", "sim"}
+    ),
+    "cli": frozenset(
+        {"analysis", "faults", "perf", "platform", "recovery", "resilience",
+         "workloads"}
+    ),
 }
 
 

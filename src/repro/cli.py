@@ -229,6 +229,77 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    if _check_workload(args.workload) is None:
+        return 2
+    if args.ops < 10:
+        print("error: soak needs at least 10 operations (--ops)", file=sys.stderr)
+        return 2
+    if args.checkpoint_every < 1:
+        print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+        return 2
+    from repro.recovery import (
+        InvariantViolation,
+        RecoveryStats,
+        recovery_csv_rows,
+        run_soak_campaigns,
+    )
+
+    seed = args.seed if args.seed is not None else DEFAULT_CHAOS_SEED
+    profile = _make_profile(args)
+    stats = RecoveryStats()
+    try:
+        exit_code, results = run_soak_campaigns(
+            args.workload,
+            profile.write_ratio,
+            seed,
+            args.ops,
+            args.state_dir,
+            campaigns=args.campaigns,
+            checkpoint_every=args.checkpoint_every,
+            kill_at=args.kill_at,
+            monitors=not args.no_monitors,
+            verify=args.verify,
+            stats=stats,
+            log=print,
+        )
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    for name, value in sorted(stats.as_dict().items()):
+        print(f"  {name:>22s} = {value}")
+    if args.csv and results:
+        with open(args.csv, "w") as fh:
+            for row in recovery_csv_rows(results, stats):
+                fh.write(",".join(row) + "\n")
+        print(f"wrote {args.csv}")
+    return exit_code
+
+
+def cmd_oracle(args: argparse.Namespace) -> int:
+    if _check_workload(args.workload) is None:
+        return 2
+    from repro.recovery import RecoveryStats, run_oracle
+
+    seed = args.seed if args.seed is not None else DEFAULT_CHAOS_SEED
+    profile = _make_profile(args)
+    stats = RecoveryStats()
+    report = run_oracle(
+        args.workload,
+        profile.write_ratio,
+        base_seed=seed,
+        seeds=args.seeds,
+        points=args.points,
+        ops=args.ops,
+        stats=stats,
+        progress=print if args.verbose else None,
+    )
+    print(report.format())
+    for name, value in sorted(stats.as_dict().items()):
+        print(f"  {name:>22s} = {value}")
+    return 0 if report.all_passed else 1
+
+
 def cmd_resilience(args: argparse.Namespace) -> int:
     if args.ops < 10:
         print("error: resilience needs at least 10 requests (--ops)", file=sys.stderr)
@@ -353,6 +424,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    soak = sub.add_parser(
+        "soak",
+        help="resumable checkpointed chaos campaign (restarts from the newest snapshot)",
+    )
+    soak.add_argument("workload")
+    soak.add_argument(
+        "--ops", type=int, default=3000, help="operations per campaign (default 3000)"
+    )
+    soak.add_argument(
+        "--checkpoint-every", type=int, default=200,
+        help="operations between snapshots (default 200)",
+    )
+    soak.add_argument(
+        "--state-dir", default=".soak-state",
+        help="directory for snapshots and results.json (default .soak-state)",
+    )
+    soak.add_argument(
+        "--campaigns", type=int, default=1,
+        help="consecutive seeds to run (completed seeds are skipped on rerun)",
+    )
+    soak.add_argument(
+        "--kill-at", type=int,
+        help="simulate a host crash: exit 75 without checkpointing at this op",
+    )
+    soak.add_argument(
+        "--verify", action="store_true",
+        help="also run uninterrupted in memory and require identical fingerprints",
+    )
+    soak.add_argument(
+        "--no-monitors", action="store_true",
+        help="disable the runtime invariant monitors (they are on by default)",
+    )
+    soak.add_argument(
+        "--csv", metavar="PATH", help="write the recovery counters as CSV"
+    )
+    _add_config_flags(soak)
+    soak.set_defaults(func=cmd_soak)
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="crash-point differential oracle: snapshot/kill/restore must be byte-identical",
+    )
+    oracle.add_argument("workload")
+    oracle.add_argument(
+        "--ops", type=int, default=1200, help="operations per campaign (default 1200)"
+    )
+    oracle.add_argument(
+        "--seeds", type=int, default=3, help="consecutive seeds to sweep (default 3)"
+    )
+    oracle.add_argument(
+        "--points", type=int, default=9,
+        help="crash points per seed (default 9; 3 seeds x 9 points = 27)",
+    )
+    oracle.add_argument(
+        "--verbose", "-v", action="store_true", help="print each crash point's verdict"
+    )
+    _add_config_flags(oracle)
+    oracle.set_defaults(func=cmd_oracle)
 
     resilience = sub.add_parser(
         "resilience",

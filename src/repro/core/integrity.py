@@ -134,6 +134,32 @@ class BonsaiMerkleTree:
         if not 0 <= index < self.leaf_count:
             raise IndexError(f"leaf {index} out of range [0, {self.leaf_count})")
 
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Node store (keyed by (level, index) tuples), root and counters.
+
+        The MAC key and arity are constructor configuration; restoring into a
+        tree built with a different key makes every verify fail, which is the
+        behaviour we want — a snapshot never smuggles key material.
+        """
+        return {
+            "leaf_count": self.leaf_count,
+            "depth": self.depth,
+            "dram_nodes": [(key, node) for key, node in self.dram_nodes.items()],
+            "root": self._root,
+            "updates": self.updates,
+            "verifications": self.verifications,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.leaf_count = state["leaf_count"]
+        self.depth = state["depth"]
+        self.dram_nodes = {tuple(key): node for key, node in state["dram_nodes"]}
+        self._root = state["root"]
+        self.updates = state["updates"]
+        self.verifications = state["verifications"]
+
     # -- adversarial surface (fault injection / attack demos) ---------------------
 
     def corrupt_node(self, level: int, index: int, xor_mask: int = 0x01) -> None:

@@ -25,7 +25,7 @@ AES OTPs, real MAC verification, real trees) lives in
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 from typing import Dict, List, Tuple
 
@@ -163,6 +163,8 @@ class MemoryEncryptionEngine:
         self._split: Dict[int, _SplitBlock] = {}
         self._major: Dict[int, int] = {}  # page -> major counter
         self.stats = MeeStats()
+        # runtime invariant monitor (repro.recovery); None = disabled
+        self.invariant_monitor = None  # repro: allow[recovery-unserialized-state] -- monitors are re-armed by their owner after restore, never serialized
         # tree depths are sized for the whole protected DRAM
         dram_pages = config.dram_bytes // config.page_bytes
         self.split_tree_depth = self._depth(dram_pages)
@@ -388,6 +390,9 @@ class MemoryEncryptionEngine:
         stats.verification_latency_total += verify_latency
         stats.verification_ops += 1
         stats.critical_latency_total += critical
+        monitor = self.invariant_monitor
+        if monitor is not None:
+            monitor.after_timing_mee_write(self, page, line)
         return result
 
     def replay(self, events: "List[Tuple[int, int, bool, bool]]") -> None:
@@ -547,6 +552,36 @@ class MemoryEncryptionEngine:
         major = math.ceil(len(self._major) / MAJOR_COUNTERS_PER_BLOCK) * line
         return split + major
 
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counter state, cache contents and cost accounting.
+
+        Config/scheme/latencies and the derived tree depths
+        (``split_tree_depth``/``major_tree_depth``) are constructor-owned.
+        """
+        return {
+            "cache": self.cache.snapshot_state(),
+            "split": [
+                (page, block.major, list(block.minors))
+                for page, block in self._split.items()
+            ],
+            "major": [(page, major) for page, major in self._major.items()],
+            "stats": {
+                f.name: getattr(self.stats, f.name) for f in fields(self.stats)
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.cache.restore_state(state["cache"])
+        self._split = {
+            page: _SplitBlock(major=major, minors=list(minors))
+            for page, major, minors in state["split"]
+        }
+        self._major = {page: major for page, major in state["major"]}
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+
 
 class FunctionalMee:
     """Real encryption/MAC/tree machinery over a small page range.
@@ -573,6 +608,8 @@ class FunctionalMee:
         # attacker-visible stores: ciphertext and MACs live in "DRAM"
         self.dram_ciphertext: Dict[Tuple[int, int], bytes] = {}
         self.dram_macs: Dict[Tuple[int, int], bytes] = {}
+        # runtime invariant monitor (repro.recovery); None = disabled
+        self.invariant_monitor = None  # repro: allow[recovery-unserialized-state] -- monitors are re-armed by their owner after restore, never serialized
 
     def _serialize_counter(self, page: int) -> bytes:
         cached = self._ser_cache.get(page)
@@ -616,6 +653,9 @@ class FunctionalMee:
             ciphertext, self._line_counter(page, line), bytes([line])
         )
         self.tree.update(page, self._serialize_counter(page))
+        monitor = self.invariant_monitor
+        if monitor is not None:
+            monitor.after_mee_commit(self, page, line)
 
     def read_line(self, page: int, line: int) -> bytes:
         """Verify (MAC + tree) and decrypt a line from DRAM."""
@@ -638,6 +678,56 @@ class FunctionalMee:
             raise ValueError(f"page {page} out of range")
         if not 0 <= line < LINES_PER_PAGE:
             raise ValueError(f"line {line} out of range")
+
+    # -- invariant-monitor surface (repro.recovery) --------------------------------
+
+    def verify_counter_block(self, page: int) -> None:
+        """Merkle-root consistency check for one page's counter block.
+
+        Raises :class:`IntegrityError` when the serialized counter no longer
+        authenticates against the on-chip root — i.e. the counter state and
+        the tree have diverged.
+        """
+        self.tree.verify(page, self._serialize_counter(page))
+
+    def counter_pair(self, page: int, line: int) -> Tuple[int, int]:
+        """(major, minor) for a line, for counter-monotonicity monitoring."""
+        block = self._counters[page]
+        return block.major, block.minors[line]
+
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters, tree, and the attacker-visible DRAM stores.
+
+        ``_ser_cache`` is a derived memo and is dropped instead of captured;
+        the DRAM stores keep insertion order (``written_lines()`` reports
+        write order, and journal replay depends on it). Keys never leave the
+        constructor: the snapshot holds ciphertext and MACs only.
+        """
+        return {
+            "counters": [
+                (page, block.major, list(block.minors))
+                for page, block in self._counters.items()
+            ],
+            "tree": self.tree.snapshot_state(),
+            "dram_ciphertext": [
+                (key, value) for key, value in self.dram_ciphertext.items()
+            ],
+            "dram_macs": [(key, value) for key, value in self.dram_macs.items()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._counters = {
+            page: _SplitBlock(major=major, minors=list(minors))
+            for page, major, minors in state["counters"]
+        }
+        self._ser_cache = {}  # derived; repopulated lazily
+        self.tree.restore_state(state["tree"])
+        self.dram_ciphertext = {
+            tuple(key): value for key, value in state["dram_ciphertext"]
+        }
+        self.dram_macs = {tuple(key): value for key, value in state["dram_macs"]}
 
     # -- adversarial surface (fault injection / attack demos) ---------------------
 

@@ -7,6 +7,8 @@ simulation reproducible.
 
 from __future__ import annotations
 
+from typing import Dict
+
 _MASK64 = (1 << 64) - 1
 
 
@@ -43,3 +45,11 @@ class XorShift64:
     def next_float(self) -> float:
         """Uniform float in [0, 1)."""
         return (self.next_u64() >> 11) / float(1 << 53)
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, int]:
+        return {"state": self._state}
+
+    def restore_state(self, state: Dict[str, int]) -> None:
+        self._state = state["state"]

@@ -151,6 +151,12 @@ class ChaosRunner:
         self.event_log: List[str] = []
         self.nvme_statuses: Dict[str, int] = {}
         self.invariant_violations = 0
+        # stepping cursor: run() == prepare() + ops * step() + finalize(),
+        # so a checkpoint between steps resumes with identical RNG draws
+        self._prepared = False
+        self._next_op = 0
+        self._tag = 0
+        self.monitors = None  # repro: allow[recovery-unserialized-state] -- MonitorSuite is re-armed via arm_monitors after restore, never serialized
 
     # -- pieces ----------------------------------------------------------------
 
@@ -234,6 +240,12 @@ class ChaosRunner:
                         " other tenants unaffected"
                     )
                     tenant = self.guard.restart(message.tee_id)
+                    if self.monitors is not None:
+                        # fresh enclave generation: re-arm the monitor so its
+                        # counter shadows restart with the new MEE
+                        self.monitors.attach_mee(
+                            tenant.mee, f"tenant{message.tee_id}"
+                        )
                     # the restart replays the journaled write epoch: every
                     # line committed before the abort must round-trip
                     bad = sum(
@@ -255,25 +267,49 @@ class ChaosRunner:
 
     # -- the run ---------------------------------------------------------------
 
-    def run(self) -> ChaosReport:
+    def prepare(self) -> None:
+        """Seed the tenants and age the flash (the pre-fault-window phase).
+
+        Three passes over the working set ages the flash enough that GC
+        runs during the fault window. Called implicitly by :meth:`run_until`.
+        """
+        if self._prepared:
+            raise RuntimeError("chaos runner is already prepared")
+        self._prepared = True
         for tee_id in (1, 2):
             self._seed_tenant(tee_id)
-        # pre-populate: three passes over the working set ages the flash
-        # enough that GC runs during the fault window
-        tag = 0
         for _ in range(3):
             for lpa in range(WORKING_SET):
-                self._write(lpa, tag)
-                tag += 1
-        for op in range(self.ops):
-            self._handle_applied(op, self.injector.fire(op))
-            if self.rng.next_float() < self.write_fraction or not self.expected:
-                lpa = self.rng.next_below(WORKING_SET)
-                self._write(lpa, tag)
-                tag += 1
-            else:
-                keys = sorted(self.expected)
-                self._read(op, keys[self.rng.next_below(len(keys))])
+                self._write(lpa, self._tag)
+                self._tag += 1
+
+    def step(self) -> None:
+        """Execute exactly one chaos operation (due faults + one host I/O)."""
+        op = self._next_op
+        self._handle_applied(op, self.injector.fire(op))
+        if self.rng.next_float() < self.write_fraction or not self.expected:
+            lpa = self.rng.next_below(WORKING_SET)
+            self._write(lpa, self._tag)
+            self._tag += 1
+        else:
+            keys = sorted(self.expected)
+            self._read(op, keys[self.rng.next_below(len(keys))])
+        self._next_op += 1
+
+    @property
+    def ops_executed(self) -> int:
+        return self._next_op
+
+    def run_until(self, op_count: int) -> None:
+        """Advance to (at most) ``op_count`` executed operations."""
+        if not self._prepared:
+            self.prepare()
+        stop = min(op_count, self.ops)
+        while self._next_op < stop:
+            self.step()
+
+    def finalize(self) -> ChaosReport:
+        """Final verification sweep and report (after all ops executed)."""
         if self.injector.gc_cut_armed:
             # the armed mid-GC cut never met a GC pass; fall back to a
             # between-ops cut so the scheduled fault still happens
@@ -306,6 +342,63 @@ class ChaosRunner:
             invariant_violations=self.invariant_violations,
             event_log=list(self.event_log),
         )
+
+    def run(self) -> ChaosReport:
+        self.run_until(self.ops)
+        return self.finalize()
+
+    # -- monitors ---------------------------------------------------------------
+
+    def arm_monitors(self, suite) -> None:
+        """Attach a runtime invariant monitor (:mod:`repro.recovery`).
+
+        Duck-typed on purpose: faults must not import the recovery layer.
+        The suite is re-attached to a tenant's fresh MEE on every restart so
+        its counter-monotonicity shadows reset with the enclave generation.
+        """
+        self.monitors = suite
+        self.ftl.invariant_monitor = suite
+        suite.attach_ftl(self.ftl)
+        for tee_id, tenant in sorted(self.guard.tenants.items()):
+            suite.attach_mee(tenant.mee, f"tenant{tee_id}")
+
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Everything a resumed run needs to draw the same bytes.
+
+        Composes the component snapshots (FTL stack, tenant enclaves,
+        injector latch, PRNG) with the harness's own cursor and ground-truth
+        tables. Monitors are deliberately absent — the owner re-arms them.
+        """
+        return {
+            "next_op": self._next_op,
+            "tag": self._tag,
+            "prepared": self._prepared,
+            "rng": self.rng.snapshot_state(),
+            "stats": self.stats.snapshot_state(),
+            "ftl": self.ftl.snapshot_state(),
+            "guard": self.guard.snapshot_state(),
+            "injector": self.injector.snapshot_state(),
+            "expected": sorted(self.expected.items()),
+            "event_log": list(self.event_log),
+            "nvme_statuses": sorted(self.nvme_statuses.items()),
+            "invariant_violations": self.invariant_violations,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._next_op = state["next_op"]
+        self._tag = state["tag"]
+        self._prepared = state["prepared"]
+        self.rng.restore_state(state["rng"])
+        self.stats.restore_state(state["stats"])
+        self.ftl.restore_state(state["ftl"])
+        self.guard.restore_state(state["guard"])
+        self.injector.restore_state(state["injector"])
+        self.expected = {lpa: payload for lpa, payload in state["expected"]}
+        self.event_log = list(state["event_log"])
+        self.nvme_statuses = {name: count for name, count in state["nvme_statuses"]}
+        self.invariant_violations = state["invariant_violations"]
 
 
 def run_chaos(

@@ -49,8 +49,8 @@ class FaultInjector:
         self.guard = guard
         self.stats = stats if stats is not None else ftl.reliability
         self.gc_cut_armed = False
-        self.applied: List[AppliedFault] = []
-        self._events_by_op = {}
+        self.applied: List[AppliedFault] = []  # repro: allow[recovery-unserialized-state] -- diagnostic log; the chaos event_log carries the durable record
+        self._events_by_op = {}  # repro: allow[recovery-unserialized-state] -- derived index rebuilt from the plan on construction
         for event in plan.events:
             self._events_by_op.setdefault(event.op_index, []).append(event)
         # wire the mid-GC power-cut hook
@@ -62,6 +62,15 @@ class FaultInjector:
         if self.gc_cut_armed and point == "gc_mid_relocate":
             self.gc_cut_armed = False
             raise PowerLossError(point)
+
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Only the armed mid-GC cut latch; the plan is constructor input."""
+        return {"gc_cut_armed": self.gc_cut_armed}
+
+    def restore_state(self, state: dict) -> None:
+        self.gc_cut_armed = state["gc_cut_armed"]
 
     # -- event application --------------------------------------------------------
 

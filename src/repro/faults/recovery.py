@@ -138,6 +138,60 @@ class EnclaveIntegrityGuard:
     def live_tenants(self) -> List[int]:
         return sorted(t for t, e in self.tenants.items() if not e.aborted)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Per-tenant enclave state plus the abort log.
+
+        Keys are *not* serialized (they are registration inputs); restoring
+        into a guard whose tenants were registered with different keys makes
+        every MEE verify fail, by design. The shared ``stats`` object is
+        owned — and snapshotted — by whoever constructed the guard.
+        """
+        return {
+            "tenants": [
+                (
+                    tee_id,
+                    {
+                        "generation": t.generation,
+                        "aborted": t.aborted,
+                        "abort_reason": (
+                            t.abort_message.reason if t.abort_message is not None else None
+                        ),
+                        "lines_written": list(t.lines_written),
+                        "journal": [(key, value) for key, value in t.journal.items()],
+                        "mee": t.mee.snapshot_state(),
+                    },
+                )
+                for tee_id, t in sorted(self.tenants.items())
+            ],
+            "abort_log": [(m.tee_id, m.reason) for m in self.abort_log],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        snapshot_ids = [tee_id for tee_id, _ in state["tenants"]]
+        if snapshot_ids != sorted(self.tenants):
+            raise ValueError(
+                f"snapshot names tenants {snapshot_ids}, guard has {sorted(self.tenants)}"
+            )
+        for tee_id, tstate in state["tenants"]:
+            tenant = self.tenants[tee_id]
+            tenant.generation = tstate["generation"]
+            tenant.aborted = tstate["aborted"]
+            tenant.abort_message = (
+                TeeMessage(tee_id=tee_id, reason=tstate["abort_reason"])
+                if tstate["abort_reason"] is not None
+                else None
+            )
+            tenant.lines_written = [(page, line) for page, line in tstate["lines_written"]]
+            tenant.journal = {
+                (page, line): value for (page, line), value in tstate["journal"]
+            }
+            tenant.mee.restore_state(tstate["mee"])
+        self.abort_log = [
+            TeeMessage(tee_id=tee_id, reason=reason) for tee_id, reason in state["abort_log"]
+        ]
+
     def _abort(self, tenant: TenantEnclave, reason: str) -> None:
         tenant.aborted = True
         tenant.abort_message = TeeMessage(tee_id=tenant.tee_id, reason=reason)

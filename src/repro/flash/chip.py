@@ -228,3 +228,42 @@ class FlashChip:
         self._write_cursor[block] = 0
         self.block_wear[block] = self.block_wear.get(block, 0) + 1
         self.erases += 1
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Primitive state tree for :mod:`repro.recovery` snapshots.
+
+        Geometry and ``store_data`` are constructor configuration, not state;
+        everything mutable is captured, with dicts as insertion-ordered item
+        lists and the frozen :class:`PageOob` records as plain tuples.
+        """
+        return {
+            "page_state": [(ppa, s.value) for ppa, s in self._page_state.items()],
+            "write_cursor": [(b, c) for b, c in self._write_cursor.items()],
+            "block_wear": [(b, w) for b, w in self.block_wear.items()],
+            "data": [(ppa, d) for ppa, d in self._data.items()],
+            "oob": [
+                (ppa, (o.lpa, o.seq, o.owner)) for ppa, o in self._oob.items()
+            ],
+            "oob_seq": self._oob_seq,
+            "failed_dies": sorted(self.failed_dies),
+            "reads": self.reads,
+            "programs": self.programs,
+            "erases": self.erases,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._page_state = {ppa: PageState(s) for ppa, s in state["page_state"]}
+        self._write_cursor = {b: c for b, c in state["write_cursor"]}
+        self.block_wear = {b: w for b, w in state["block_wear"]}
+        self._data = {ppa: d for ppa, d in state["data"]}
+        self._oob = {
+            ppa: PageOob(lpa=lpa, seq=seq, owner=owner)
+            for ppa, (lpa, seq, owner) in state["oob"]
+        }
+        self._oob_seq = state["oob_seq"]
+        self.failed_dies = set(state["failed_dies"])
+        self.reads = state["reads"]
+        self.programs = state["programs"]
+        self.erases = state["erases"]

@@ -138,6 +138,33 @@ class EccModel:
         )
         return int(self.config.wear_scale * math.log(ratio))
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Config is constructor-owned; the RNG, forced queue and counters move."""
+        return {
+            "rng": self._rng.snapshot_state(),
+            "forced": list(self._forced),
+            "reads": self.reads,
+            "corrected_bits": self.corrected_bits,
+            "uncorrectable": self.uncorrectable,
+            "injected_reads": self.injected_reads,
+            "retried_reads": self.retried_reads,
+            "retry_successes": self.retry_successes,
+            "last_raw_errors": self.last_raw_errors,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._rng.restore_state(state["rng"])
+        self._forced = deque(state["forced"])
+        self.reads = state["reads"]
+        self.corrected_bits = state["corrected_bits"]
+        self.uncorrectable = state["uncorrectable"]
+        self.injected_reads = state["injected_reads"]
+        self.retried_reads = state["retried_reads"]
+        self.retry_successes = state["retry_successes"]
+        self.last_raw_errors = state["last_raw_errors"]
+
 
 @dataclass
 class RetryOutcome:

@@ -9,7 +9,7 @@ discrete-event device.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.flash.chip import FlashChip
@@ -33,6 +33,23 @@ class WritesSuspendedError(Exception):
     def __init__(self, mode: str) -> None:
         super().__init__(f"writes suspended: device is in {mode} mode")
         self.mode = mode
+
+
+class MappingIntegrityError(Exception):
+    """The FTL's mapping invariants do not hold (corruption detected).
+
+    Raised by :meth:`Ftl.check_mapping_integrity` callers — most importantly
+    the power-loss rebuild, which must fail loudly rather than hand the host
+    a silently wrong address map. Carries the full problem list so reports
+    and tests can show *which* invariant broke.
+    """
+
+    def __init__(self, where: str, problems: List[str]) -> None:
+        detail = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        super().__init__(f"mapping integrity violated after {where}: {detail}{more}")
+        self.where = where
+        self.problems = problems
 
 
 class UncorrectableReadError(Exception):
@@ -84,6 +101,13 @@ class FtlStats:
     disturb_refreshes: int = 0
     background_collections: int = 0
 
+    def snapshot_state(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def restore_state(self, state: Dict[str, int]) -> None:
+        for f in fields(self):
+            setattr(self, f.name, state[f.name])
+
 
 class Ftl:
     """Page-level FTL with greedy GC and static wear leveling."""
@@ -122,10 +146,12 @@ class Ftl:
         self.stats = FtlStats()
         # optional reliability machinery (see attach_reliability)
         self.ecc: Optional[EccModel] = None
-        self.retry_policy: Optional[ReadRetryPolicy] = None
+        self.retry_policy: Optional[ReadRetryPolicy] = None  # repro: allow[recovery-unserialized-state] -- escalation schedule is pure configuration attached by attach_reliability, no mutable state
         self.reliability: Optional[ReliabilityStats] = None
         # modelled cost of scanning one page's OOB during recovery
         self.recovery_scan_latency_per_page = 25e-6
+        # runtime invariant monitor (repro.recovery); None = disabled
+        self.invariant_monitor = None  # repro: allow[recovery-unserialized-state] -- monitors are re-armed by their owner after restore, never serialized
 
     def attach_reliability(
         self,
@@ -264,6 +290,83 @@ class Ftl:
             self.mapping.unmap(lpa)
         return len(lost)
 
+    # -- invariants --------------------------------------------------------------
+
+    def check_mapping_integrity(self, where: str = "") -> List[str]:
+        """Verify the mapping invariants; return a list of problems (empty = OK).
+
+        Checked invariants (the address-map half of the recovery story):
+
+        - **bijectivity** — the LPA→PPA map is injective and its reverse
+          index agrees with it in both directions;
+        - **media state** — every mapped PPA is a VALID flash page (pages on
+          failed dies are exempt: their mappings are dropped lazily);
+        - **OOB agreement** — the on-flash journal (LPA + owner in each
+          page's OOB) matches the DRAM mapping it would be rebuilt from;
+        - **valid-page accounting** — every VALID data page is reachable
+          from the mapping (no leaked/orphaned valid pages), translation
+          blocks excluded.
+
+        Pure read-only check; callers decide whether problems are fatal
+        (power-loss rebuild raises :class:`MappingIntegrityError`, the
+        invariant monitors raise ``InvariantViolation``).
+        """
+        from repro.flash.chip import PageState
+
+        problems: List[str] = []
+        mapped_ppas: Dict[int, int] = {}
+        for lpa, entry in self.mapping.items():
+            ppa = entry.ppa
+            if ppa in mapped_ppas:
+                problems.append(
+                    f"LPA {lpa} and LPA {mapped_ppas[ppa]} both map to PPA {ppa}"
+                )
+                continue
+            mapped_ppas[ppa] = lpa
+            back = self.mapping.lpa_of_ppa(ppa)
+            if back != lpa:
+                problems.append(
+                    f"reverse map disagrees: LPA {lpa} -> PPA {ppa} -> LPA {back}"
+                )
+            if self.chip.failed_dies and self.chip.die_failed(ppa):
+                continue  # stranded mapping; dropped lazily on first read
+            state = self.chip.page_state(ppa)
+            if state is not PageState.VALID:
+                problems.append(f"LPA {lpa} maps to PPA {ppa} in state {state.name}")
+                continue
+            oob = self.chip.oob_of(ppa)
+            if oob is None:
+                problems.append(f"mapped PPA {ppa} has no OOB journal entry")
+            else:
+                if oob.lpa != lpa:
+                    problems.append(
+                        f"OOB of PPA {ppa} names LPA {oob.lpa}, mapping says {lpa}"
+                    )
+                if oob.owner != entry.owner:
+                    problems.append(
+                        f"OOB owner {oob.owner} != mapping owner {entry.owner} "
+                        f"for LPA {lpa} (PPA {ppa})"
+                    )
+        reserved = set(self.translation_store.blocks) if self.translation_store else set()
+        for block in range(self.geometry.total_blocks):
+            if block in reserved or self.chip.block_on_failed_die(block):
+                continue
+            if self.chip.write_cursor(block) == 0:
+                continue
+            for ppa in self.chip.pages_of_block(block):
+                if self.chip.page_state(ppa) is not PageState.VALID:
+                    continue
+                if ppa not in mapped_ppas:
+                    oob = self.chip.oob_of(ppa)
+                    lpa = oob.lpa if oob is not None else None
+                    problems.append(
+                        f"orphaned VALID page at PPA {ppa} (OOB LPA {lpa}) "
+                        "not reachable from the mapping"
+                    )
+        if problems and where:
+            problems = [f"[{where}] {p}" for p in problems]
+        return problems
+
     # -- power loss --------------------------------------------------------------
 
     def recover_from_power_loss(self) -> RecoveryReport:
@@ -316,6 +419,17 @@ class Ftl:
         if self.translation_store is not None:
             report.translation_pages_scanned = self.translation_store.recover()
         report.scan_latency = report.pages_scanned * self.recovery_scan_latency_per_page
+        # the rebuilt map must satisfy the bijectivity/accounting invariants;
+        # a recovery that produced a corrupt map fails loudly (structured
+        # error + reliability counter) instead of serving wrong addresses
+        problems = self.check_mapping_integrity("power-loss recovery")
+        monitor = self.invariant_monitor
+        if monitor is not None:
+            monitor.note_ftl_check(self, problems)
+        if problems:
+            if self.reliability is not None:
+                self.reliability.recovery_integrity_failures += 1
+            raise MappingIntegrityError("power-loss recovery", problems)
         if self.reliability is not None:
             self.reliability.power_loss_recoveries += 1
             self.reliability.faults_recovered += 1
@@ -392,6 +506,7 @@ class Ftl:
         plane = self.geometry.plane_index(new_ppa)
         if self.gc.needs_gc(plane):
             gc_total.merge(self.gc.collect_plane(plane))
+        monitor = self.invariant_monitor
         if gc_total.blocks_erased:
             cost.page_reads += gc_total.pages_relocated
             cost.page_programs += gc_total.pages_relocated
@@ -399,6 +514,8 @@ class Ftl:
             cost.gc = gc_total
             self.stats.gc_relocations += gc_total.pages_relocated
             self.stats.gc_erases += gc_total.blocks_erased
+            if monitor is not None:
+                monitor.after_ftl_step(self, "gc")
 
         wl = self.wear_leveler.level()
         if wl.migrations:
@@ -406,6 +523,8 @@ class Ftl:
             cost.page_programs += wl.pages_moved
             cost.block_erases += wl.migrations
             self.stats.wl_migrations += wl.migrations
+            if monitor is not None:
+                monitor.after_ftl_step(self, "wear_level")
         return cost
 
     def attach_translation_store(self, store) -> None:
@@ -467,3 +586,57 @@ class Ftl:
     def utilization(self) -> float:
         """Fraction of logical space currently mapped."""
         return len(self.mapping) / self.logical_pages
+
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Whole-FTL state: media, map, allocator, collectors and counters.
+
+        DFTL mode is excluded by design: translation pages already live on
+        flash and are rebuilt by ``translation_store.recover()``, so a
+        checkpoint of that configuration would duplicate (and could
+        contradict) the on-media journal.
+        """
+        if self.translation_store is not None:
+            raise RuntimeError(
+                "cannot snapshot an FTL with an attached translation store; "
+                "DFTL state is rebuilt from flash by its own recover() path"
+            )
+        return {
+            "chip": self.chip.snapshot_state(),
+            "mapping": self.mapping.snapshot_state(),
+            "allocator": self.allocator.snapshot_state(),
+            "gc": self.gc.snapshot_state(),
+            "wear_leveler": self.wear_leveler.snapshot_state(),
+            "stats": self.stats.snapshot_state(),
+            "block_read_counts": sorted(self._block_read_counts.items()),
+            "dirty_translation_pages": sorted(self._dirty_translation_pages),
+            "translation_writeback_batch": self.translation_writeback_batch,
+            "recovery_scan_latency_per_page": self.recovery_scan_latency_per_page,
+            "ecc": self.ecc.snapshot_state() if self.ecc is not None else None,
+            "reliability": (
+                self.reliability.snapshot_state() if self.reliability is not None else None
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.chip.restore_state(state["chip"])
+        self.mapping.restore_state(state["mapping"])
+        self.allocator.restore_state(state["allocator"])
+        self.gc.restore_state(state["gc"])
+        self.wear_leveler.restore_state(state["wear_leveler"])
+        self.stats.restore_state(state["stats"])
+        self._block_read_counts = {block: count for block, count in state["block_read_counts"]}
+        self._dirty_translation_pages = set(state["dirty_translation_pages"])
+        self.translation_writeback_batch = state["translation_writeback_batch"]
+        self.recovery_scan_latency_per_page = state["recovery_scan_latency_per_page"]
+        if state["ecc"] is not None:
+            if self.ecc is None:
+                raise RuntimeError("snapshot carries ECC state but no EccModel is attached")
+            self.ecc.restore_state(state["ecc"])
+        if state["reliability"] is not None:
+            if self.reliability is None:
+                raise RuntimeError(
+                    "snapshot carries reliability counters but none are attached"
+                )
+            self.reliability.restore_state(state["reliability"])

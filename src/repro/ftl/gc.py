@@ -57,7 +57,7 @@ class GarbageCollector:
         self.total_erases = 0
         # fault-injection hook (repro.faults): called at the labelled points
         # inside _reclaim so a power cut can land mid-collection
-        self.fault_hook = None
+        self.fault_hook = None  # repro: allow[recovery-unserialized-state] -- rewired by the fault injector after restore, never serialized
 
     def needs_gc(self, plane: int) -> bool:
         return self.allocator.free_blocks_in_plane(plane) <= self.free_block_watermark
@@ -144,3 +144,22 @@ class GarbageCollector:
         if host_writes <= 0:
             return 1.0
         return (host_writes + self.total_relocations) / host_writes
+
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters only: chip/mapping/allocator are snapshotted by their owner.
+
+        ``fault_hook`` is rewired by the fault injector after restore, never
+        serialized.
+        """
+        return {
+            "invocations": self.invocations,
+            "total_relocations": self.total_relocations,
+            "total_erases": self.total_erases,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.invocations = state["invocations"]
+        self.total_relocations = state["total_relocations"]
+        self.total_erases = state["total_erases"]

@@ -156,6 +156,31 @@ class MappingTable:
             )
         return entry
 
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Forward map as an insertion-ordered item list plus counters.
+
+        The reverse map is derived state and is rebuilt on restore; capturing
+        only the forward entries keeps the fingerprint from double-counting.
+        """
+        return {
+            "forward": [
+                (lpa, entry.ppa, entry.owner) for lpa, entry in self._forward.items()
+            ],
+            "permission_checks": self.permission_checks,
+            "permission_denials": self.permission_denials,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._forward = {
+            lpa: MappingEntry(ppa=ppa, owner=owner)
+            for lpa, ppa, owner in state["forward"]
+        }
+        self._reverse = {entry.ppa: lpa for lpa, entry in self._forward.items()}
+        self.permission_checks = state["permission_checks"]
+        self.permission_denials = state["permission_denials"]
+
     # -- introspection -----------------------------------------------------------
 
     def items(self) -> Iterator:

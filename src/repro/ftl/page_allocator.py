@@ -143,6 +143,25 @@ class PageAllocator:
                 self._next_page[plane] = ppb - best_free_tail
         self._plane_rr = 0
 
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Free pools keep their deque order (allocation order is state)."""
+        return {
+            "free_blocks": [list(pool) for pool in self._free_blocks],
+            "active_block": list(self._active_block),
+            "next_page": list(self._next_page),
+            "quarantined": sorted(self._quarantined),
+            "plane_rr": self._plane_rr,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._free_blocks = [deque(pool) for pool in state["free_blocks"]]
+        self._active_block = list(state["active_block"])
+        self._next_page = list(state["next_page"])
+        self._quarantined = set(state["quarantined"])
+        self._plane_rr = state["plane_rr"]
+
     # -- allocation ------------------------------------------------------------
 
     def allocate(self, plane: Optional[int] = None) -> int:

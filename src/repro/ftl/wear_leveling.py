@@ -114,6 +114,15 @@ class WearLeveler:
         self.total_migrations += 1
         return result
 
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters only: chip/mapping/allocator are snapshotted by their owner."""
+        return {"total_migrations": self.total_migrations}
+
+    def restore_state(self, state: dict) -> None:
+        self.total_migrations = state["total_migrations"]
+
     def wear_histogram(self, bins: int = 10) -> List[int]:
         """Histogram of per-block wear; handy for uniformity assertions."""
         _, max_wear, _ = self.wear_stats()

@@ -31,12 +31,19 @@ class RunResult:
     # fault-injection/recovery counters (empty for fault-free runs); filled
     # by the chaos harness from sim.stats.ReliabilityStats.as_dict()
     reliability: Dict[str, float] = field(default_factory=dict)
+    # checkpoint/restore + invariant-monitor counters (empty unless the run
+    # went through repro.recovery); filled from sim.stats.RecoveryStats
+    recovery: Dict[str, float] = field(default_factory=dict)
 
     def record_reliability(self, reliability_stats) -> None:
         """Attach a :class:`~repro.sim.stats.ReliabilityStats` snapshot."""
         self.reliability = {
             k: float(v) for k, v in reliability_stats.as_dict().items()
         }
+
+    def record_recovery(self, recovery_stats) -> None:
+        """Attach a :class:`~repro.sim.stats.RecoveryStats` snapshot."""
+        self.recovery = {k: float(v) for k, v in recovery_stats.as_dict().items()}
 
     @classmethod
     def from_chaos(cls, report) -> "RunResult":
@@ -67,6 +74,7 @@ class RunResult:
             ("components", self.components),
             ("stats", self.stats),
             ("reliability", self.reliability),
+            ("recovery", self.recovery),
         ):
             for key in sorted(mapping):
                 parts.append(f"{label}.{key}={mapping[key]!r}")

@@ -1,0 +1,74 @@
+"""Checkpoint/restore, crash-point differential oracle, invariant monitors.
+
+The recovery subsystem makes the simulated SSD stack *restartable* and
+*self-checking*:
+
+- :mod:`repro.recovery.snapshot` — versioned, content-fingerprinted
+  snapshots over a primitive state tree (components expose
+  ``snapshot_state()``/``restore_state()``);
+- :mod:`repro.recovery.checkpoint` — whole-stack checkpoints of a chaos
+  campaign (flash, FTL, enclaves, injector, PRNG in one snapshot);
+- :mod:`repro.recovery.oracle` — the crash-point differential oracle:
+  kill-and-restore at swept points must reproduce the uninterrupted run's
+  fingerprint byte for byte;
+- :mod:`repro.recovery.monitors` — runtime invariant monitors (Merkle-root
+  consistency, mapping bijectivity, counter and sim-clock monotonicity)
+  that are free when disabled and loud when armed;
+- :mod:`repro.recovery.soak` — resumable soak campaigns that survive host
+  crashes by restarting from their newest valid snapshot.
+
+See docs/RECOVERY.md for the design and the snapshot format contract.
+"""
+
+from repro.recovery.checkpoint import (
+    CHAOS_SNAPSHOT_KIND,
+    restore_chaos_runner,
+    snapshot_chaos_runner,
+)
+from repro.recovery.monitors import InvariantViolation, MonitorSuite
+from repro.recovery.oracle import OracleReport, crash_points, run_oracle
+from repro.recovery.snapshot import (
+    SNAPSHOT_VERSION,
+    Snapshot,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotVersionError,
+    canonical_fingerprint,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.recovery.soak import (
+    SOAK_KILLED_EXIT,
+    SoakResult,
+    find_latest_snapshot,
+    recovery_csv_rows,
+    run_soak,
+    run_soak_campaigns,
+)
+from repro.sim.stats import RecoveryStats
+
+__all__ = [
+    "CHAOS_SNAPSHOT_KIND",
+    "InvariantViolation",
+    "MonitorSuite",
+    "OracleReport",
+    "RecoveryStats",
+    "SNAPSHOT_VERSION",
+    "SOAK_KILLED_EXIT",
+    "Snapshot",
+    "SnapshotCorruptError",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "SoakResult",
+    "canonical_fingerprint",
+    "crash_points",
+    "find_latest_snapshot",
+    "load_snapshot",
+    "recovery_csv_rows",
+    "restore_chaos_runner",
+    "run_oracle",
+    "run_soak",
+    "run_soak_campaigns",
+    "save_snapshot",
+    "snapshot_chaos_runner",
+]

@@ -1,0 +1,68 @@
+"""Whole-stack checkpoints of a running chaos campaign.
+
+The chaos harness is the integration surface that exercises every stateful
+component at once — flash array, FTL, ECC, tenant enclaves, fault injector,
+PRNG — so its checkpoint *is* the whole-stack checkpoint: one
+:class:`~repro.recovery.snapshot.Snapshot` composed from each component's
+``snapshot_state()``. Restoring builds a fresh runner from the snapshot's
+metadata (re-running all constructors, which rewires derived state and
+hooks) and then overlays the saved state.
+
+Checkpoints are only taken between operations (the harness is functional,
+so between-ops *is* the quiescent point); a resumed run draws the same PRNG
+bytes and produces a byte-identical final report, which
+:mod:`repro.recovery.oracle` proves crash point by crash point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.chaos import ChaosRunner
+from repro.faults.plan import FaultPlanConfig
+from repro.recovery.snapshot import Snapshot, SnapshotError
+
+CHAOS_SNAPSHOT_KIND = "chaos-run"
+
+
+def snapshot_chaos_runner(runner: ChaosRunner) -> Snapshot:
+    """Capture a quiescent chaos runner as a versioned snapshot."""
+    meta = {
+        "workload": runner.workload,
+        "write_ratio": runner.write_fraction,
+        "seed": runner.seed,
+        "ops": runner.ops,
+        "ops_executed": runner.ops_executed,
+    }
+    return Snapshot(kind=CHAOS_SNAPSHOT_KIND, meta=meta, state=runner.snapshot_state())
+
+
+def restore_chaos_runner(
+    snapshot: Snapshot,
+    plan_config: Optional[FaultPlanConfig] = None,
+) -> ChaosRunner:
+    """Rebuild a runner from a snapshot (constructors first, then state).
+
+    ``plan_config`` must match the one the snapshotted run was built with
+    (the default config for every CLI path); the fault plan itself is a pure
+    function of (seed, ops, config), so it is regenerated, not stored.
+    Monitors are never part of a snapshot — re-arm with
+    :meth:`~repro.faults.chaos.ChaosRunner.arm_monitors` after restoring.
+    """
+    if snapshot.kind != CHAOS_SNAPSHOT_KIND:
+        raise SnapshotError(
+            f"expected a {CHAOS_SNAPSHOT_KIND!r} snapshot, got {snapshot.kind!r}"
+        )
+    meta = snapshot.meta
+    runner = ChaosRunner(
+        meta["workload"],
+        meta["write_ratio"],
+        seed=meta["seed"],
+        ops=meta["ops"],
+        plan_config=plan_config,
+    )
+    runner.restore_state(snapshot.state)
+    return runner
+
+
+__all__ = ["CHAOS_SNAPSHOT_KIND", "restore_chaos_runner", "snapshot_chaos_runner"]

@@ -1,0 +1,177 @@
+"""Crash-point differential oracle: prove restore is byte-identical.
+
+For each seed the oracle runs one *golden* uninterrupted chaos campaign and
+records its report fingerprint. Then, for every crash point T in a sweep,
+it runs a fresh campaign to T, checkpoints it, round-trips the checkpoint
+through disk (so serialization itself is under test), hard-kills the live
+runner by discarding it, restores a brand-new runner from the file, runs it
+to completion and demands the final fingerprint equal the golden one —
+byte-identical, event log and all. Any state a component forgot to
+serialize, any RNG draw that happens in a different order, any derived
+structure rebuilt wrong shows up as a mismatch at some crash point.
+
+The oracle also proves the *negative* path: a snapshot file with one
+flipped byte must be rejected by the content fingerprint before any state
+reaches the simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.faults.chaos import ChaosRunner
+from repro.faults.plan import FaultPlanConfig
+from repro.recovery.checkpoint import (
+    CHAOS_SNAPSHOT_KIND,
+    restore_chaos_runner,
+    snapshot_chaos_runner,
+)
+from repro.recovery.snapshot import (
+    SnapshotCorruptError,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.sim.stats import RecoveryStats
+
+
+@dataclass(frozen=True)
+class OraclePoint:
+    """One crash point's verdict."""
+
+    seed: int
+    crash_op: int
+    matched: bool
+    golden_digest: str
+    resumed_digest: str
+
+
+@dataclass
+class OracleReport:
+    """Outcome of a full crash-point sweep."""
+
+    workload: str
+    write_ratio: float
+    ops: int
+    points: List[OraclePoint] = field(default_factory=list)
+    corruption_rejected: bool = False
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for p in self.points if p.matched)
+
+    @property
+    def failed(self) -> int:
+        return len(self.points) - self.passed
+
+    @property
+    def all_passed(self) -> bool:
+        return self.failed == 0 and self.corruption_rejected and bool(self.points)
+
+    def format(self) -> str:
+        seeds = sorted({p.seed for p in self.points})
+        lines = [
+            f"oracle {self.workload}: {len(self.points)} crash points over "
+            f"{len(seeds)} seeds, {self.ops} ops each",
+            f"  byte-identical  : {self.passed}/{len(self.points)}",
+            "  corrupt snapshot: "
+            + ("rejected (content fingerprint)" if self.corruption_rejected else "NOT REJECTED"),
+        ]
+        for point in self.points:
+            if not point.matched:
+                lines.append(
+                    f"  MISMATCH seed={point.seed} crash_op={point.crash_op}: "
+                    f"{point.resumed_digest[:16]} != {point.golden_digest[:16]}"
+                )
+        return "\n".join(lines)
+
+
+def crash_points(ops: int, count: int) -> List[int]:
+    """``count`` evenly spaced interior operation indices in (0, ops)."""
+    if ops < 2 or count < 1:
+        raise ValueError("need ops >= 2 and count >= 1")
+    step = ops / (count + 1)
+    return sorted({min(ops - 1, max(1, round(step * (i + 1)))) for i in range(count)})
+
+
+def _digest(fingerprint: str) -> str:
+    return hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+
+
+def _probe_corruption(path: str) -> bool:
+    """Flip one byte of a saved snapshot; loading must refuse it."""
+    with open(path, "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[len(blob) // 2] ^= 0x01
+    corrupt_path = path + ".corrupt"
+    with open(corrupt_path, "wb") as fh:
+        fh.write(bytes(blob))
+    try:
+        load_snapshot(corrupt_path, expect_kind=CHAOS_SNAPSHOT_KIND)
+    except SnapshotCorruptError:
+        return True
+    finally:
+        os.unlink(corrupt_path)
+    return False
+
+
+def run_oracle(
+    workload: str,
+    write_ratio: float,
+    base_seed: int = 42,
+    seeds: int = 3,
+    points: int = 9,
+    ops: int = 1200,
+    plan_config: Optional[FaultPlanConfig] = None,
+    stats: Optional[RecoveryStats] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> OracleReport:
+    """Sweep ``points`` crash points across ``seeds`` consecutive seeds."""
+    report = OracleReport(workload=workload, write_ratio=write_ratio, ops=ops)
+    stats = stats if stats is not None else RecoveryStats()
+    sweep = crash_points(ops, points)
+    with tempfile.TemporaryDirectory(prefix="repro-oracle-") as tmp:
+        for seed in range(base_seed, base_seed + seeds):
+            golden = ChaosRunner(
+                workload, write_ratio, seed=seed, ops=ops, plan_config=plan_config
+            ).run()
+            golden_fp = golden.fingerprint()
+            golden_digest = _digest(golden_fp)
+            for crash_op in sweep:
+                runner = ChaosRunner(
+                    workload, write_ratio, seed=seed, ops=ops, plan_config=plan_config
+                )
+                runner.run_until(crash_op)
+                path = os.path.join(tmp, f"seed{seed}-op{crash_op}.snap")
+                save_snapshot(snapshot_chaos_runner(runner), path)
+                stats.snapshots_taken += 1
+                del runner  # the hard kill: only the file survives
+                loaded = load_snapshot(path, expect_kind=CHAOS_SNAPSHOT_KIND)
+                if not report.corruption_rejected:
+                    report.corruption_rejected = _probe_corruption(path)
+                resumed = restore_chaos_runner(loaded, plan_config=plan_config)
+                stats.restores += 1
+                resumed.run_until(ops)
+                resumed_fp = resumed.finalize().fingerprint()
+                matched = resumed_fp == golden_fp
+                if matched:
+                    stats.oracle_points_passed += 1
+                report.points.append(
+                    OraclePoint(
+                        seed=seed,
+                        crash_op=crash_op,
+                        matched=matched,
+                        golden_digest=golden_digest,
+                        resumed_digest=_digest(resumed_fp),
+                    )
+                )
+                if progress is not None:
+                    status = "ok" if matched else "MISMATCH"
+                    progress(f"seed={seed} crash_op={crash_op}: {status}")
+    return report
+
+
+__all__ = ["OraclePoint", "OracleReport", "crash_points", "run_oracle"]

@@ -115,6 +115,27 @@ class CircuitBreaker:
         ):
             self._transition(now, BreakerState.OPEN)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Full state-machine state; key and config are constructor inputs."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "probe_successes": self.probe_successes,
+            "opened_at": self.opened_at,
+            "last_probe_at": self.last_probe_at,
+            "transitions": list(self.transitions),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.state = BreakerState(state["state"])
+        self.consecutive_failures = state["consecutive_failures"]
+        self.probe_successes = state["probe_successes"]
+        self.opened_at = state["opened_at"]
+        self.last_probe_at = state["last_probe_at"]
+        self.transitions = [(when, what) for when, what in state["transitions"]]
+
     # -- internals -------------------------------------------------------------
 
     def _transition(self, now: float, state: BreakerState) -> None:
@@ -166,6 +187,22 @@ class BreakerBoard:
             for when, what in self._breakers[key].transitions:
                 lines.append(f"t={when * 1e6:.1f}us breaker[{key}] {what}")
         return lines
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Per-key breaker states, sorted for a canonical encoding."""
+        return {
+            "breakers": [
+                (key, self._breakers[key].snapshot_state())
+                for key in sorted(self._breakers)
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._breakers = {}
+        for key, breaker_state in state["breakers"]:
+            self.breaker(key).restore_state(breaker_state)
 
 
 __all__ = ["BreakerBoard", "BreakerConfig", "BreakerState", "CircuitBreaker"]

@@ -18,7 +18,7 @@ bounds memory under heavy hedged-read cancellation.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 # Compact below this queue size is not worth the rebuild.
 _COMPACT_MIN_QUEUE = 64
@@ -66,12 +66,15 @@ class Engine:
     """A minimal deterministic discrete-event simulation engine."""
 
     def __init__(self) -> None:
-        self._queue: List[_Entry] = []
+        self._queue: List[_Entry] = []  # repro: allow[recovery-unserialized-state] -- callbacks are closures; snapshots only happen at quiescent (empty-queue) points, enforced in snapshot_state
         self._now: float = 0.0
         self._seq: int = 0
         self._events_fired: int = 0
-        self._running: bool = False
+        self._running: bool = False  # repro: allow[recovery-unserialized-state] -- transient run()-scope flag; snapshots cannot happen mid-run
         self._cancelled_pending: int = 0  # cancelled entries still in the heap
+        # runtime invariant monitor (repro.recovery); None = disabled. Bound
+        # locally by run() — arm before starting a run, not during one.
+        self.invariant_monitor: Optional[Any] = None  # repro: allow[recovery-unserialized-state] -- monitors are re-armed by their owner after restore, never serialized
 
     @property
     def now(self) -> float:
@@ -203,6 +206,7 @@ class Engine:
         # hot globals locally: this loop is the simulator's innermost path
         pop = heapq.heappop
         queue = self._queue
+        monitor = self.invariant_monitor
         try:
             fired = 0
             while queue:
@@ -227,6 +231,8 @@ class Engine:
                     event.fired = True
                 head[2]()
                 fired += 1
+                if monitor is not None:
+                    monitor.after_engine_event(self._now)
             else:
                 if until is not None and until > self._now:
                     self._now = until
@@ -241,3 +247,33 @@ class Engine:
         self._seq = 0
         self._events_fired = 0
         self._cancelled_pending = 0
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Clock and sequencing state; only legal at a quiescent point.
+
+        Pending heap entries hold arbitrary closures, which a primitive
+        snapshot cannot (and should not) serialize — checkpointing is a
+        quiescent-point operation, the same discipline real SSD firmware
+        uses for power-loss-protected flush points.
+        """
+        if self._queue:
+            raise RuntimeError(
+                f"cannot snapshot an engine with {len(self._queue)} queued "
+                "events; drain the queue (quiescent point) first"
+            )
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "events_fired": self._events_fired,
+            "cancelled_pending": self._cancelled_pending,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        if self._queue:
+            raise RuntimeError("cannot restore into an engine with queued events")
+        self._now = state["now"]
+        self._seq = state["seq"]
+        self._events_fired = state["events_fired"]
+        self._cancelled_pending = state["cancelled_pending"]

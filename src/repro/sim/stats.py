@@ -29,6 +29,7 @@ class ReliabilityStats:
     integrity_violations: int = 0
     tenant_aborts: int = 0
     dies_failed: int = 0
+    recovery_integrity_failures: int = 0
     added_latency_s: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
@@ -41,6 +42,38 @@ class ReliabilityStats:
     def reset(self) -> None:
         for f in fields(self):
             setattr(self, f.name, 0.0 if f.name == "added_latency_s" else 0)
+
+    def snapshot_state(self) -> Dict[str, float]:
+        return self.as_dict()
+
+    def restore_state(self, state: Dict[str, float]) -> None:
+        for f in fields(self):
+            setattr(self, f.name, state[f.name])
+
+
+@dataclass
+class RecoveryStats:
+    """Counters for the checkpoint/restore subsystem (:mod:`repro.recovery`).
+
+    ``invariant_checks``/``violations`` count runtime invariant-monitor
+    activity (Merkle-root consistency, mapping bijectivity, counter and
+    sim-clock monotonicity); ``snapshots_taken``/``restores`` count
+    checkpoint traffic; ``oracle_points_passed`` counts crash points where
+    the differential oracle proved restore byte-identical.
+    """
+
+    invariant_checks: int = 0
+    violations: int = 0
+    snapshots_taken: int = 0
+    restores: int = 0
+    oracle_points_passed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "RecoveryStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 # -- memoization surface -------------------------------------------------------
@@ -150,6 +183,26 @@ class Histogram:
     @property
     def total(self) -> float:
         return self._mean * self.count
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Welford accumulators and retained samples (checkpoint/restore)."""
+        return {
+            "count": self.count,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples) if self._samples is not None else None,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.count = state["count"]
+        self._mean = state["mean"]
+        self._m2 = state["m2"]
+        self.min = state["min"]
+        self.max = state["max"]
+        samples = state["samples"]
+        self._samples = list(samples) if samples is not None else None
 
     def percentile(self, pct: float) -> float:
         """Return an exact percentile; requires ``keep_samples=True``."""

@@ -1,0 +1,20 @@
+"""Fixture: trips recovery-unserialized-state exactly once.
+
+``_event_log`` is a fresh mutable list created in ``__init__`` but never
+mentioned in snapshot_state/restore_state — it silently resets on restore.
+``cursor`` is serialized (string key) and ``chip`` is an injected
+collaborator (Name initializer), so neither fires.
+"""
+
+
+class CheckpointedQueue:
+    def __init__(self, chip):
+        self.chip = chip
+        self.cursor = 0
+        self._event_log = []
+
+    def snapshot_state(self):
+        return {"cursor": self.cursor}
+
+    def restore_state(self, state):
+        self.cursor = state["cursor"]

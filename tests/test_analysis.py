@@ -40,6 +40,7 @@ RULE_FIXTURES = {
     "sim_float_eq.py": "sim-float-eq",
     "sim_private_mutation.py": "sim-private-mutation",
     "resilience_unbounded_retry.py": "resilience-unbounded-retry",
+    "recovery_unserialized_state.py": "recovery-unserialized-state",
 }
 
 
@@ -66,6 +67,7 @@ class TestRuleFixtures:
         assert families == {
             "determinism",
             "perf",
+            "recovery",
             "resilience",
             "security-flow",
             "sim-time",

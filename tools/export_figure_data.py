@@ -126,6 +126,28 @@ def main(out_dir: str = "figure_data", jobs: int = 1) -> int:
               ["workload", "seed", "invariant_violations"] + counter_names,
               chaos_rows)
 
+    # recovery: one small crash-point oracle sweep per workload, so the
+    # checkpoint/restore counters land next to the reliability series.
+    from repro.recovery import RecoveryStats, run_oracle
+
+    recovery_rows = []
+    recovery_names = None
+    for name in figures.WORKLOAD_ORDER:
+        stats = RecoveryStats()
+        report = run_oracle(name, profiles[name].write_ratio, base_seed=42,
+                            seeds=1, points=3, ops=300, stats=stats)
+        counters = stats.as_dict()
+        if recovery_names is None:
+            recovery_names = sorted(counters)
+        recovery_rows.append(
+            [name, 42, len(report.points), report.passed,
+             int(report.corruption_rejected)]
+            + [counters[c] for c in recovery_names])
+    write_csv(out / "recovery_oracle.csv",
+              ["workload", "seed", "oracle_points", "oracle_passed",
+               "corruption_rejected"] + recovery_names,
+              recovery_rows)
+
     return 0
 
 
