@@ -87,10 +87,12 @@ def main() -> None:
     print("attestation: TEE measurement verified — safe to send the data key")
 
     trojaned = Tee(eid=2, tid=2, code=b"\x7fEVIL" + b"\x90" * 256, lpas=[0])
-    bad_quote = device.quote(trojaned, verifier.fresh_nonce(b"session-43"))
+    # one challenge per handshake: re-deriving a nonce from the same entropy
+    # is itself refused by the replay-hardened verifier
+    challenge = verifier.fresh_nonce(b"session-43")
+    bad_quote = device.quote(trojaned, challenge)
     try:
-        verifier.verify(bad_quote, expected_code=binary,
-                        nonce=verifier.fresh_nonce(b"session-43"))
+        verifier.verify(bad_quote, expected_code=binary, nonce=challenge)
     except AttestationError as err:
         print(f"attestation: trojaned TEE rejected ({err})")
 

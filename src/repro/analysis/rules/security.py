@@ -68,9 +68,16 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
         {"core", "crypto", "faults", "flash", "ftl", "host", "platform",
          "resilience", "sim"}
     ),
+    # the serving layer fronts the host library with attested sessions: it
+    # composes resilience policies and platform metrics over the device
+    # stack, and nothing below ever imports it back
+    "serve": frozenset(
+        {"core", "crypto", "faults", "flash", "ftl", "host", "platform",
+         "resilience", "sim"}
+    ),
     "cli": frozenset(
         {"analysis", "faults", "perf", "platform", "recovery", "resilience",
-         "workloads"}
+         "serve", "workloads"}
     ),
 }
 
@@ -129,6 +136,9 @@ KEY_TCB_MODULES: FrozenSet[str] = frozenset(
         "repro.core.secure_boot",
         "repro.core.attestation",
         "repro.core.integrity",
+        # the serve session layer derives, holds and uses per-session keys
+        # (SecureChannel seal/open); it is the ONLY serve module allowed to
+        "repro.serve.session",
     }
 )
 _PRIMITIVE_MODULES = (
@@ -381,11 +391,88 @@ class BroadExceptRule(Rule):
         return None
 
 
+# Session-key-shaped names the serve layer may only hold inside its
+# session module (superset of the serve-specific derivation vocabulary;
+# the generic KEY_NAMES rule already covers `session_key` repo-wide).
+_SERVE_KEY_NAMES: FrozenSet[str] = frozenset(
+    {"session_key", "channel_key", "kek", "handshake_key", "derived_key"}
+)
+_SERVE_KEY_TCB: FrozenSet[str] = frozenset({"repro.serve.session"})
+
+
+@register
+class ServeSessionKeyLeakRule(Rule):
+    """Per-session keys stay inside repro.serve.session."""
+
+    id = "serve-session-key-leak"
+    family = "security-flow"
+    summary = "session key material escapes repro.serve.session"
+    rationale = (
+        "The serving handshake derives one key per attested session; the "
+        "whole point of the SecureChannel abstraction is that the service, "
+        "load generator and lab only ever see sealed envelopes. A "
+        "session-key-shaped value stored or logged elsewhere in the serve "
+        "layer would put tenant keys in reach of request handlers, SLO "
+        "ledgers and event logs — exactly the multi-tenant isolation the "
+        "attestation gate exists to provide."
+    )
+    node_types = (ast.Call, ast.Assign, ast.AnnAssign)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.package != "serve" or ctx.module in _SERVE_KEY_TCB:
+            return
+        if isinstance(node, ast.Call):
+            sink = _is_telemetry_sink(node.func)
+            if sink is None:
+                return
+            leaked = set()
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id in _SERVE_KEY_NAMES:
+                        leaked.add(sub.id)
+                    elif (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr in _SERVE_KEY_NAMES
+                    ):
+                        leaked.add(dotted_source(sub) or sub.attr)
+            for name in sorted(leaked):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"session key `{name}` flows into telemetry sink {sink} "
+                    "outside repro.serve.session; tenants' channel keys "
+                    "must never reach logs or exports",
+                )
+        else:  # Assign / AnnAssign
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                label = self._key_label(target)
+                if label is not None:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"session key material `{label}` stored outside "
+                        "repro.serve.session; hold a ClientSession / "
+                        "SecureChannel handle, not the key",
+                    )
+
+    @staticmethod
+    def _key_label(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name) and target.id in _SERVE_KEY_NAMES:
+            return target.id
+        if isinstance(target, ast.Attribute) and target.attr in _SERVE_KEY_NAMES:
+            return dotted_source(target) or target.attr
+        return None
+
+
 __all__: Tuple[str, ...] = (
     "BoundaryBypassRule",
     "BroadExceptRule",
     "KeyContainmentRule",
     "LayeringRule",
+    "ServeSessionKeyLeakRule",
     "TelemetryLeakRule",
     "LAYER_ALLOWED",
     "KEY_TCB_MODULES",

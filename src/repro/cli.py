@@ -10,6 +10,7 @@ Examples::
     python -m repro sweep dram tpcc
     python -m repro chaos tpch-q1 --seed 42
     python -m repro resilience --seed 7 --quick
+    python -m repro serve-lab --seed 7 --tenants 1000
     python -m repro lint src --format json
     python -m repro profile tpcc --scheme iceclave --top 15
     python -m repro bench --quick --jobs 4
@@ -30,6 +31,7 @@ from repro.workloads import ALL_WORKLOADS, workload_by_name
 GIB = 1 << 30
 DEFAULT_CHAOS_SEED = 42
 DEFAULT_RESILIENCE_SEED = 7
+DEFAULT_SERVE_SEED = 7
 
 
 def _make_profile(args: argparse.Namespace):
@@ -342,6 +344,83 @@ def cmd_resilience(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_serve_lab(args: argparse.Namespace) -> int:
+    if args.tenants < 1 or args.requests < 10:
+        print(
+            "error: serve-lab needs at least 1 tenant and 10 requests",
+            file=sys.stderr,
+        )
+        return 2
+    import json as json_module
+
+    from repro.serve import run_serve_lab
+
+    seed = args.seed if args.seed is not None else DEFAULT_SERVE_SEED
+    tenants = 250 if args.quick else args.tenants
+    requests = 1000 if args.quick else args.requests
+    chaos = not args.no_chaos
+    report = run_serve_lab(
+        seed=seed,
+        tenants=tenants,
+        requests=requests,
+        process=args.process,
+        chaos=chaos,
+    )
+    print(report.format())
+    if args.events:
+        print("event log (policies on):")
+        for line in report.attested.event_log:
+            print(f"  {line}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            for row in report.csv_rows():
+                fh.write(",".join(row) + "\n")
+        print(f"wrote {args.csv}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json_module.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    # the whole campaign — handshakes, sealed envelopes, faults, retries —
+    # must be a pure function of the seed: run it again and require
+    # byte-identical fingerprints
+    repeat = run_serve_lab(
+        seed=seed,
+        tenants=tenants,
+        requests=requests,
+        process=args.process,
+        chaos=chaos,
+    )
+    deterministic = report.fingerprint() == repeat.fingerprint()
+    print(f"deterministic: {'yes' if deterministic else 'NO — runs diverged'}")
+    exit_code = 0
+    if not deterministic:
+        exit_code = 1
+    if not report.attestation_gate_held():
+        print(
+            "FAIL: attestation gate leaked — tampered handshakes were not "
+            "all refused (or none were exercised)",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    threshold = args.min_availability / 100.0
+    if report.attested.availability < threshold:
+        print(
+            f"FAIL: policies-on availability "
+            f"{report.attested.availability * 100:.4f}% is below the "
+            f"{args.min_availability:.2f}% floor",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if chaos and not report.policy_win:
+        print(
+            "FAIL: policies-on did not strictly beat policies-off",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -511,6 +590,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, help="deterministic seed for the fault plan and arrivals"
     )
     resilience.set_defaults(func=cmd_resilience)
+
+    serve = sub.add_parser(
+        "serve-lab",
+        help="attested multi-tenant serving campaign: policies on vs off under chaos",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=1000, help="tenant count (default 1000)"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=4000,
+        help="total requests per arm (default 4000)",
+    )
+    serve.add_argument(
+        "--process", choices=("poisson", "bursty"), default="poisson",
+        help="open-loop arrival process (default poisson)",
+    )
+    serve.add_argument(
+        "--no-chaos", action="store_true", help="disable the seeded fault plan"
+    )
+    serve.add_argument(
+        "--quick", action="store_true",
+        help="small run for CI smoke (250 tenants, 1000 requests)",
+    )
+    serve.add_argument(
+        "--min-availability",
+        type=float,
+        default=99.0,
+        help="fail (exit 1) if policies-on availability drops below this %% (default 99)",
+    )
+    serve.add_argument(
+        "--csv", metavar="PATH", help="write the campaign summary as CSV"
+    )
+    serve.add_argument(
+        "--json", metavar="PATH", help="write the full SLO report as JSON"
+    )
+    serve.add_argument(
+        "--events", "-e", action="store_true",
+        help="print the policies-on fault/transition log",
+    )
+    serve.add_argument(
+        "--seed", type=int,
+        help="deterministic seed for tenants, arrivals, faults and crypto",
+    )
+    serve.set_defaults(func=cmd_serve_lab)
     return parser
 
 

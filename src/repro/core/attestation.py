@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Set
+from typing import Dict
 
 from repro.core.exceptions import IceClaveError
 from repro.core.tee import Tee
@@ -91,23 +91,60 @@ class AttestationDevice:
 
 
 class AttestationVerifier:
-    """User-side verifier sharing the device secret via vendor provisioning."""
+    """User-side verifier sharing the device secret via vendor provisioning.
 
-    def __init__(self, device_secret: bytes, expected_device_id: bytes) -> None:
+    The verifier is the replay anchor of the protocol: a quote is accepted
+    only against a challenge *this verifier issued* that has not been
+    consumed yet. Both the issued and the consumed nonce sets are bounded to
+    ``nonce_window`` entries (oldest evicted first); a quote whose challenge
+    aged out of the window is refused as unissued, so the window doubles as
+    the session-freshness horizon.
+    """
+
+    def __init__(
+        self,
+        device_secret: bytes,
+        expected_device_id: bytes,
+        nonce_window: int = 4096,
+    ) -> None:
+        if nonce_window < 1:
+            raise ValueError("nonce window must hold at least one challenge")
         self._mac = Mac(device_secret)
         self.expected_device_id = expected_device_id
-        self._used_nonces: Set[bytes] = set()
+        self.nonce_window = nonce_window
+        # insertion-ordered: the first key is always the oldest entry
+        self._issued_nonces: Dict[bytes, None] = {}
+        self._used_nonces: Dict[bytes, None] = {}
 
     def fresh_nonce(self, seed: bytes) -> bytes:
-        """Derive a fresh challenge nonce (callers supply entropy)."""
+        """Derive and register a fresh challenge nonce (callers supply entropy).
+
+        Re-deriving a nonce that is still inside the session window — the
+        same entropy offered twice — is rejected instead of silently handed
+        out again: a duplicated challenge is exactly what makes a recorded
+        quote replayable.
+        """
         nonce = hashlib.blake2b(b"nonce" + seed, digest_size=16).digest()
+        if nonce in self._issued_nonces or nonce in self._used_nonces:
+            raise AttestationError(
+                "nonce reuse within the session window: supply fresh "
+                "entropy for every challenge"
+            )
+        self._issued_nonces[nonce] = None
+        self._trim(self._issued_nonces)
         return nonce
+
+    def _trim(self, window: Dict[bytes, None]) -> None:
+        while len(window) > self.nonce_window:
+            window.pop(next(iter(window)))
 
     def verify(self, quote: Quote, expected_code: bytes, nonce: bytes) -> None:
         """Verify a quote; raises :class:`AttestationError` on any mismatch.
 
         Checks, in order: device identity, signature, measurement against
-        the binary the user believes it offloaded, and nonce freshness.
+        the binary the user believes it offloaded, and nonce freshness
+        (the challenge must have been issued here and never consumed).
+        A successful verification consumes the challenge.
         """
         if quote.device_id != self.expected_device_id:
             raise AttestationError("quote from an unknown device")
@@ -121,4 +158,11 @@ class AttestationVerifier:
             raise AttestationError("quote answers a different challenge")
         if nonce in self._used_nonces:
             raise AttestationError("nonce reuse: possible quote replay")
-        self._used_nonces.add(nonce)
+        if nonce not in self._issued_nonces:
+            raise AttestationError(
+                "challenge was not issued by this verifier (or aged out of "
+                "the session window): possible quote replay"
+            )
+        self._issued_nonces.pop(nonce)
+        self._used_nonces[nonce] = None
+        self._trim(self._used_nonces)

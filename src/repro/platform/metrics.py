@@ -237,6 +237,128 @@ class SloTracker:
         return "\n".join(self.summary_lines())
 
 
+@dataclass(frozen=True)
+class TenantSlo:
+    """One tenant's SLO standing, as the serve-lab report consumes it.
+
+    ``budget_burn`` is the fraction of the availability error budget the
+    tenant has consumed: 0.0 = untouched, 1.0 = exactly spent, above 1.0 =
+    burned through (it is ``1 - error_budget_remaining`` and can reach
+    ``inf`` when the objective allows zero failures but some occurred).
+    """
+
+    tenant_id: int
+    requests: int
+    failures: int
+    availability: float
+    budget_burn: float
+    p99_read_s: float
+
+    def line(self) -> str:
+        return (
+            f"tenant={self.tenant_id} requests={self.requests}"
+            f" failures={self.failures}"
+            f" availability={self.availability * 100:.4f}%"
+            f" budget_burn={self.budget_burn * 100:.1f}%"
+            f" p99_read={self.p99_read_s * 1e6:.1f}us"
+        )
+
+
+class SloBoard:
+    """Per-tenant :class:`SloTracker` registry with fleet aggregation.
+
+    A multi-tenant service tracks the SLO per tenant — a fleet-wide 99.9%
+    is no comfort to the one tenant burning its whole error budget. The
+    board creates trackers on demand, aggregates fleet totals, and answers
+    the on-call question directly: which tenants are worst off, ranked by
+    error-budget burn. All orderings are deterministic (burn, then failure
+    count, then tenant id) so reports fingerprint identically across runs.
+    """
+
+    def __init__(
+        self,
+        objectives: SloObjectives = SloObjectives(),
+        window_s: float = 1e-3,
+    ) -> None:
+        self.objectives = objectives
+        self.window_s = window_s
+        self._trackers: Dict[int, SloTracker] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def tracker(self, tenant_id: int) -> SloTracker:
+        if tenant_id not in self._trackers:
+            self._trackers[tenant_id] = SloTracker(self.objectives, self.window_s)
+        return self._trackers[tenant_id]
+
+    def record(
+        self, tenant_id: int, now: float, kind: str, latency_s: float, ok: bool = True
+    ) -> None:
+        self.tracker(tenant_id).record(now, kind, latency_s, ok=ok)
+
+    # -- aggregation ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return sum(t.total for t in self._trackers.values())
+
+    @property
+    def failures(self) -> int:
+        return sum(t.failures for t in self._trackers.values())
+
+    def availability(self) -> float:
+        total = self.total
+        if total == 0:
+            return 1.0
+        return (total - self.failures) / total
+
+    def tenant_ids(self) -> List[int]:
+        return sorted(self._trackers)
+
+    def tenant_slo(self, tenant_id: int) -> TenantSlo:
+        tracker = self._trackers[tenant_id]
+        return TenantSlo(
+            tenant_id=tenant_id,
+            requests=tracker.total,
+            failures=tracker.failures,
+            availability=tracker.availability(),
+            budget_burn=1.0 - tracker.error_budget_remaining(),
+            p99_read_s=tracker.percentile("read", 99.0),
+        )
+
+    def worst_tenants(self, k: int) -> List[TenantSlo]:
+        """Top-``k`` tenants by error-budget burn (deterministic ties)."""
+        if k < 1:
+            raise ValueError("need k >= 1 worst tenants")
+        slos = [self.tenant_slo(tid) for tid in self.tenant_ids()]
+        slos.sort(key=lambda s: (-s.budget_burn, -s.failures, s.tenant_id))
+        return slos[:k]
+
+    def tenants_out_of_budget(self) -> int:
+        """Tenants whose error budget is spent or burned through."""
+        return sum(
+            1 for tid in self.tenant_ids()
+            if self.tenant_slo(tid).budget_burn >= 1.0
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary_lines(self, top_k: int = 5) -> List[str]:
+        """Deterministic fleet summary (equal runs ⇒ byte-equal lines)."""
+        lines = [
+            f"tenants={len(self._trackers)} requests={self.total}"
+            f" failures={self.failures}"
+            f" availability={self.availability() * 100:.4f}%"
+            f" out_of_budget={self.tenants_out_of_budget()}",
+        ]
+        if self._trackers:
+            lines += [
+                "worst: " + slo.line()
+                for slo in self.worst_tenants(min(top_k, len(self._trackers)))
+            ]
+        return lines
+
+
 def geometric_mean(values) -> float:
     vals = [v for v in values]
     if not vals:

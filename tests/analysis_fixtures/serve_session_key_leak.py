@@ -1,0 +1,11 @@
+# analysis-module: repro.serve.fixture_frontend
+"""Fixture: serve-session-key-leak must fire exactly once.
+
+`channel_key` is serve-layer key vocabulary only (not in the repo-wide
+KEY_NAMES set), so printing it outside repro.serve.session trips the
+serve rule and nothing else.
+"""
+
+
+def trace_handshake(tenant_id: int, channel_key: bytes) -> None:
+    print(tenant_id, channel_key.hex())

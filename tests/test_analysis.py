@@ -37,6 +37,7 @@ RULE_FIXTURES = {
     "sec_boundary_bypass.py": "sec-boundary-bypass",
     "sec_telemetry_leak.py": "sec-telemetry-leak",
     "sec_broad_except.py": "sec-broad-except",
+    "serve_session_key_leak.py": "serve-session-key-leak",
     "sim_float_eq.py": "sim-float-eq",
     "sim_private_mutation.py": "sim-private-mutation",
     "resilience_unbounded_retry.py": "resilience-unbounded-retry",

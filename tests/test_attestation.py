@@ -95,6 +95,63 @@ class TestQuoteFlow:
             verifier.verify(tampered, expected_code=CODE, nonce=nonce)
 
 
+class TestReplayHardening:
+    """Regression tests for the nonce session window (replay hardening)."""
+
+    def test_fresh_nonce_rejects_reuse_within_window(self):
+        _, verifier = make_pair()
+        verifier.fresh_nonce(b"session-1")
+        with pytest.raises(AttestationError, match="nonce reuse within the session window"):
+            verifier.fresh_nonce(b"session-1")
+
+    def test_replayed_quote_is_refused(self):
+        """An attacker who recorded a whole handshake cannot replay it."""
+        device, verifier = make_pair()
+        tee = make_tee()
+        nonce = verifier.fresh_nonce(b"session-1")
+        quote = device.quote(tee, nonce)
+        verifier.verify(quote, expected_code=CODE, nonce=nonce)
+        # replaying the recorded (quote, nonce) pair must be refused
+        with pytest.raises(AttestationError, match="replay"):
+            verifier.verify(quote, expected_code=CODE, nonce=nonce)
+
+    def test_unissued_challenge_is_refused(self):
+        """A quote over an attacker-chosen nonce never verifies."""
+        device, verifier = make_pair()
+        tee = make_tee()
+        forged_nonce = b"\xab" * 16  # never issued by this verifier
+        quote = device.quote(tee, forged_nonce)
+        with pytest.raises(AttestationError, match="not issued"):
+            verifier.verify(quote, expected_code=CODE, nonce=forged_nonce)
+
+    def test_challenge_aged_out_of_window_is_refused(self):
+        from repro.core.attestation import AttestationDevice, AttestationVerifier
+
+        device = AttestationDevice(SECRET)
+        verifier = AttestationVerifier(SECRET, device.device_id, nonce_window=2)
+        tee = make_tee()
+        old = verifier.fresh_nonce(b"old")
+        quote = device.quote(tee, old)
+        # two newer challenges evict the old one from the window
+        verifier.fresh_nonce(b"newer-1")
+        verifier.fresh_nonce(b"newer-2")
+        with pytest.raises(AttestationError, match="not issued"):
+            verifier.verify(quote, expected_code=CODE, nonce=old)
+
+    def test_distinct_entropy_still_flows(self):
+        device, verifier = make_pair()
+        for i in range(8):
+            nonce = verifier.fresh_nonce(b"session-%d" % i)
+            quote = device.quote(make_tee(), nonce)
+            verifier.verify(quote, expected_code=CODE, nonce=nonce)
+
+    def test_window_must_be_positive(self):
+        from repro.core.attestation import AttestationVerifier
+
+        with pytest.raises(ValueError):
+            AttestationVerifier(SECRET, b"\x00" * 8, nonce_window=0)
+
+
 class TestValidation:
     def test_weak_secret_rejected(self):
         with pytest.raises(ValueError):

@@ -45,3 +45,71 @@ class TestGeometricMean:
             geometric_mean([])
         with pytest.raises(ValueError):
             geometric_mean([1.0, 0.0])
+
+
+class TestSloBoard:
+    """Per-tenant aggregation helpers used by the serve-lab report."""
+
+    def _board(self):
+        from repro.platform.metrics import SloBoard, SloObjectives
+
+        return SloBoard(SloObjectives(availability=0.9, p99_read_s=1e-3))
+
+    def test_trackers_created_on_demand(self):
+        board = self._board()
+        assert board.tenant_ids() == []
+        board.record(7, 0.0, "read", 1e-4, ok=True)
+        board.record(3, 0.0, "read", 1e-4, ok=False)
+        assert board.tenant_ids() == [3, 7]
+        assert board.total == 2
+        assert board.failures == 1
+        assert board.availability() == pytest.approx(0.5)
+
+    def test_empty_board_is_fully_available(self):
+        board = self._board()
+        assert board.availability() == 1.0
+        assert board.summary_lines()[0].startswith("tenants=0")
+
+    def test_worst_tenants_ranked_by_budget_burn(self):
+        board = self._board()
+        # tenant 1: 10 requests, 5 failures -> burn 5 (allowed 1)
+        for i in range(10):
+            board.record(1, 0.0, "read", 1e-4, ok=i >= 5)
+        # tenant 2: 10 requests, 1 failure -> burn exactly 1.0
+        for i in range(10):
+            board.record(2, 0.0, "read", 1e-4, ok=i >= 1)
+        # tenant 3: clean
+        for _ in range(10):
+            board.record(3, 0.0, "read", 1e-4, ok=True)
+        worst = board.worst_tenants(2)
+        assert [slo.tenant_id for slo in worst] == [1, 2]
+        assert worst[0].budget_burn == pytest.approx(5.0)
+        assert worst[1].budget_burn == pytest.approx(1.0)
+        assert board.tenants_out_of_budget() == 2
+
+    def test_worst_tenants_tie_breaks_by_id(self):
+        board = self._board()
+        for tenant in (9, 4, 6):
+            for i in range(10):
+                board.record(tenant, 0.0, "read", 1e-4, ok=i >= 2)
+        assert [slo.tenant_id for slo in board.worst_tenants(3)] == [4, 6, 9]
+
+    def test_top_k_bounds_and_validation(self):
+        board = self._board()
+        board.record(1, 0.0, "read", 1e-4)
+        assert len(board.worst_tenants(10)) == 1
+        with pytest.raises(ValueError):
+            board.worst_tenants(0)
+
+    def test_summary_lines_deterministic(self):
+        def build():
+            board = self._board()
+            for tenant in (5, 2, 8):
+                for i in range(6):
+                    board.record(tenant, i * 1e-4, "read", 2e-4, ok=i != tenant % 3)
+            return board.summary_lines()
+
+        lines = build()
+        assert lines == build()
+        assert lines[0].startswith("tenants=3 requests=18")
+        assert any(line.startswith("worst: tenant=") for line in lines[1:])
