@@ -12,8 +12,9 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.flow.graph import render_graph
 from repro.analysis.registry import all_rules
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 from repro.analysis.runner import analyze_paths
 
 DEFAULT_BASELINE = "analysis-baseline.json"
@@ -25,8 +26,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to scan (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text; sarif for code scanning)",
+    )
+    parser.add_argument(
+        "--graph", metavar="PATH", default=None,
+        help="also export the call graph + layer DAG as JSON to PATH "
+        "('-' for stdout)",
     )
     parser.add_argument(
         "--baseline", default=DEFAULT_BASELINE,
@@ -81,7 +87,23 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    result = analyze_paths(paths, root=root, baseline=baseline)
+    result = analyze_paths(
+        paths, root=root, baseline=baseline,
+        need_project=args.graph is not None,
+    )
+
+    if args.graph is not None:
+        if result.project is None:
+            print("error: --graph needs at least one parsable file",
+                  file=sys.stderr)
+            return 2
+        rendered = render_graph(result.project.index)
+        if args.graph == "-":
+            sys.stdout.write(rendered)
+        else:
+            Path(args.graph).write_text(rendered, encoding="utf-8")
+            print(f"call graph + layer DAG written to {args.graph}",
+                  file=sys.stderr)
 
     if args.update_baseline:
         fresh = Baseline.from_findings(result.new_findings)
@@ -94,6 +116,8 @@ def run_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         sys.stdout.write(render_json(result.findings, result.files_scanned))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(result.findings, result.files_scanned))
     else:
         print(render_text(result.findings, result.files_scanned, args.verbose))
     return result.exit_code

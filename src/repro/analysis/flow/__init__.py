@@ -1,0 +1,37 @@
+"""Whole-program (interprocedural) analysis on top of the AST rule engine.
+
+``symbols`` builds the project symbol table / call graph, ``summaries``
+runs the dataflow fixpoint (taint, sink escape, abort reachability),
+``rules`` registers the flow rule families, and ``graph`` exports the
+call graph + layer DAG for `repro lint --graph`.
+
+:class:`ProjectState` is the handle the runner passes to every
+:class:`~repro.analysis.registry.ProjectRule`: the index is built eagerly
+(cheap — one pass over already-parsed trees), the taint fixpoint lazily
+(first rule that asks pays for it, later rules reuse it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.flow.summaries import FlowAnalysis, analyze_project
+from repro.analysis.flow.symbols import ProjectIndex
+
+
+@dataclass
+class ProjectState:
+    """Shared whole-program state for one ``analyze_paths`` run."""
+
+    index: ProjectIndex
+    _flow: Optional[FlowAnalysis] = field(default=None, repr=False)
+
+    @property
+    def flow(self) -> FlowAnalysis:
+        if self._flow is None:
+            self._flow = analyze_project(self.index)
+        return self._flow
+
+
+__all__ = ["FlowAnalysis", "ProjectIndex", "ProjectState"]

@@ -10,7 +10,7 @@ implement ``check_module`` instead of / in addition to ``visit``.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Tuple, Type
+from typing import Any, Dict, Iterator, List, Tuple, Type
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.finding import Finding
@@ -20,7 +20,7 @@ class Rule:
     """One invariant checker. Subclass, set metadata, register."""
 
     id: str = ""
-    family: str = ""  # determinism | security-flow | sim-time
+    family: str = ""  # determinism | security-flow | sim-time | flow
     summary: str = ""
     rationale: str = ""  # which paper invariant this protects
     node_types: Tuple[Type[ast.AST], ...] = ()
@@ -31,6 +31,20 @@ class Rule:
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         """Called once per module, before node dispatch."""
+        return iter(())
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: runs once per scan over every parsed module.
+
+    ``check_project`` receives a :class:`repro.analysis.flow.ProjectState`
+    (typed ``Any`` here to keep the registry free of flow imports) holding
+    the symbol table / call graph and the lazily-computed taint fixpoint.
+    Findings still anchor to a file/line, so suppression comments and the
+    baseline apply exactly as they do for per-module rules.
+    """
+
+    def check_project(self, project: Any) -> Iterator[Finding]:
         return iter(())
 
 
@@ -67,6 +81,7 @@ def _load_builtin_rules() -> None:
     if _LOADED:
         return
     _LOADED = True
+    from repro.analysis.flow import rules as flow_rules  # noqa: F401
     from repro.analysis.rules import (  # noqa: F401
         determinism,
         perf,
@@ -77,4 +92,4 @@ def _load_builtin_rules() -> None:
     )
 
 
-__all__ = ["Rule", "all_rules", "register", "rule_by_id"]
+__all__ = ["ProjectRule", "Rule", "all_rules", "register", "rule_by_id"]

@@ -60,4 +60,97 @@ def render_json(findings: List[Finding], files_scanned: int) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-__all__ = ["REPORT_VERSION", "render_json", "render_text", "summarize"]
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(findings: List[Finding], files_scanned: int) -> str:
+    """SARIF 2.1.0 for GitHub code scanning.
+
+    Only NEW findings become results (that is the gate CI enforces);
+    suppressed and baselined findings are carried as suppressed results so
+    the code-scanning UI shows them as dismissed rather than resurrecting
+    them on every push. Deterministic: rule metadata comes from the sorted
+    registry, results from the canonical finding sort.
+    """
+    from repro.analysis.registry import all_rules
+
+    rules_meta = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "properties": {"family": rule.family},
+        }
+        for rule in all_rules()
+    ]
+    rule_index = {meta["id"]: i for i, meta in enumerate(rules_meta)}
+
+    results: List[Dict[str, Any]] = []
+    for finding in _sorted(findings):
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error" if finding.status is FindingStatus.NEW else "note",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        if finding.status is not FindingStatus.NEW:
+            result["suppressions"] = [
+                {
+                    "kind": (
+                        "inSource"
+                        if finding.status is FindingStatus.SUPPRESSED
+                        else "external"
+                    ),
+                    "justification": finding.justification
+                    or f"{finding.status.value} finding",
+                }
+            ]
+        results.append(result)
+
+    payload: Dict[str, Any] = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": str(REPORT_VERSION),
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "properties": {"files_scanned": files_scanned},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+__all__ = [
+    "REPORT_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "summarize",
+]

@@ -20,32 +20,54 @@ from repro.analysis.registry import Rule, register
 _SEEDED_ALTERNATIVE = "use repro.crypto.prng.XorShift64 with an explicit seed"
 
 
+# entropy modules: every read is fresh OS randomness, unreplayable by design
+_ENTROPY_MODULES = ("random", "secrets")
+
+
 @register
 class ImportRandomRule(Rule):
-    """Ban the ``random`` module (and ``numpy.random``) outright."""
+    """Ban ambient entropy: ``random``, ``secrets``, ``os.urandom``, uuid4."""
 
     id = "det-import-random"
     family = "determinism"
-    summary = "ambient `random` module used instead of the seeded XorShift64"
+    summary = "ambient entropy source used instead of the seeded XorShift64"
     rationale = (
         "Bit-determinism (chaos fingerprints, §6 methodology): `random` is "
-        "process-global state; a single unseeded call diverges every run."
+        "process-global state, and `secrets`/`os.urandom()`/`uuid.uuid4()` "
+        "read OS entropy that can never be replayed; a single call "
+        "diverges every run. Even key material must come from the seeded "
+        "derivation chain so campaigns stay byte-identical."
     )
-    node_types = (ast.Import, ast.ImportFrom, ast.Attribute)
+    node_types = (ast.Import, ast.ImportFrom, ast.Attribute, ast.Call)
 
     def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 root = alias.name.split(".")[0]
-                if root == "random":
+                if root in _ENTROPY_MODULES:
                     yield ctx.finding(
-                        self.id, node, f"import of `random`; {_SEEDED_ALTERNATIVE}"
+                        self.id, node,
+                        f"import of `{root}`; {_SEEDED_ALTERNATIVE}",
                     )
         elif isinstance(node, ast.ImportFrom):
-            if node.level == 0 and (node.module or "").split(".")[0] == "random":
+            root = (node.module or "").split(".")[0]
+            if node.level == 0 and root in _ENTROPY_MODULES:
                 yield ctx.finding(
-                    self.id, node, f"import from `random`; {_SEEDED_ALTERNATIVE}"
+                    self.id, node, f"import from `{root}`; {_SEEDED_ALTERNATIVE}"
                 )
+            elif node.level == 0 and root == "uuid":
+                random_uuids = [
+                    alias.name for alias in node.names
+                    if alias.name in ("uuid1", "uuid4")
+                ]
+                if random_uuids:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"imports entropy-backed {', '.join(random_uuids)} "
+                        f"from `uuid`; {_SEEDED_ALTERNATIVE}",
+                    )
+        elif isinstance(node, ast.Call):
+            yield from self._check_entropy_call(node, ctx)
         elif isinstance(node, ast.Attribute):
             if node.attr == "random" and isinstance(node.value, ast.Name):
                 if node.value.id in ("numpy", "np") and not _is_seeded_rng(node):
@@ -56,6 +78,26 @@ class ImportRandomRule(Rule):
                         "use np.random.default_rng(seed) or "
                         f"{_SEEDED_ALTERNATIVE}",
                     )
+
+    def _check_entropy_call(
+        self, node: ast.Call, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        dotted = dotted_source(node.func)
+        if not dotted:
+            return
+        parts = dotted.split(".")
+        if parts[0] == "os" and parts[-1] == "urandom":
+            yield ctx.finding(
+                self.id, node,
+                f"`{dotted}()` reads OS entropy (unreplayable); "
+                f"{_SEEDED_ALTERNATIVE}",
+            )
+        elif parts[0] == "uuid" and parts[-1] in ("uuid1", "uuid4"):
+            yield ctx.finding(
+                self.id, node,
+                f"`{dotted}()` is entropy/host-state backed; derive ids "
+                f"from the run seed instead ({_SEEDED_ALTERNATIVE})",
+            )
 
 
 def _is_seeded_rng(node: ast.Attribute) -> bool:

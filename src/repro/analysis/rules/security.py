@@ -28,6 +28,10 @@ from repro.analysis.registry import Rule, register
 # Allowed `repro.<pkg>` -> `repro.<pkg>` import edges. Keys absent from the
 # map (the `repro` facade itself, `__main__`, fixtures without an override)
 # are exempt. Same-package imports are always allowed.
+#
+# This map is kept MINIMAL: `flow-layer-drift` fails the lint for any grant
+# no import actually uses, so every edge here is exercised by the tree it
+# ships with. Widen it in the same PR that adds the import needing it.
 LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
     "sim": frozenset(),
     "crypto": frozenset(),
@@ -37,43 +41,39 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
     "analysis": frozenset(),  # the checker must never import the simulator
     "flash": frozenset({"sim", "crypto"}),
     "dram": frozenset({"sim"}),
-    "cpu": frozenset({"sim"}),
-    "ftl": frozenset({"flash", "crypto", "sim"}),
+    "cpu": frozenset(),
+    "ftl": frozenset({"flash", "sim"}),
     "query": frozenset({"crypto"}),
-    "core": frozenset({"crypto", "ftl", "flash", "dram", "cpu", "sim"}),
-    "host": frozenset({"core", "crypto", "ftl", "flash", "sim"}),
+    "core": frozenset({"crypto", "ftl"}),
+    "host": frozenset({"core", "ftl", "flash", "sim"}),
     # the chaos harness emulates the *host-visible* fault surface, so it may
     # reach down into host/nvme status mapping — but never up into platform
     "faults": frozenset({"core", "crypto", "flash", "ftl", "host", "sim"}),
-    "workloads": frozenset({"query", "crypto"}),
+    "workloads": frozenset({"query"}),
     "platform": frozenset(
-        {"area", "core", "cpu", "crypto", "dram", "flash", "ftl", "host",
-         "query", "sim", "workloads", "faults"}
+        {"area", "core", "cpu", "flash", "ftl", "host", "query", "sim",
+         "workloads"}
     ),
     # resilience policies sit above the device and host layers: they consume
     # fault plans and SLO metrics but are injected duck-typed downward, so
     # host/ftl never import them back (no cycle, small device-side TCB)
     "resilience": frozenset(
-        {"core", "crypto", "faults", "flash", "ftl", "host", "platform", "sim"}
+        {"crypto", "faults", "flash", "host", "platform", "sim"}
     ),
     # perf tooling (profiler, parallel figure runner, bench harness) drives
     # whole experiments, so it sits just below the CLI in the DAG
     "perf": frozenset(
-        {"analysis", "core", "faults", "flash", "platform", "query",
-         "resilience", "sim", "workloads"}
+        {"faults", "flash", "platform", "resilience", "sim", "workloads"}
     ),
     # checkpoint/restore composes every stateful layer's snapshot_state();
     # the monitored layers stay duck-typed (they never import recovery back)
-    "recovery": frozenset(
-        {"core", "crypto", "faults", "flash", "ftl", "host", "platform",
-         "resilience", "sim"}
-    ),
+    "recovery": frozenset({"core", "faults", "sim"}),
     # the serving layer fronts the host library with attested sessions: it
     # composes resilience policies and platform metrics over the device
     # stack, and nothing below ever imports it back
     "serve": frozenset(
         {"core", "crypto", "faults", "flash", "ftl", "host", "platform",
-         "resilience", "sim"}
+         "resilience"}
     ),
     "cli": frozenset(
         {"analysis", "faults", "perf", "platform", "recovery", "resilience",

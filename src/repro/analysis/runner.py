@@ -15,7 +15,9 @@ from repro.analysis.finding import (
     PARSE_ERROR_RULE,
     UNJUSTIFIED_SUPPRESSION_RULE,
 )
-from repro.analysis.registry import Rule, all_rules
+from repro.analysis.flow import ProjectState
+from repro.analysis.flow.symbols import ProjectIndex
+from repro.analysis.registry import ProjectRule, Rule, all_rules
 
 
 @dataclass
@@ -24,6 +26,9 @@ class AnalysisResult:
 
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    # whole-program state (symbol table / call graph / taint fixpoint);
+    # populated whenever project rules ran or the caller asked for it
+    project: Optional[ProjectState] = None
 
     @property
     def new_findings(self) -> List[Finding]:
@@ -95,21 +100,39 @@ def _suppression_hygiene(ctx: ModuleContext) -> Iterator[Finding]:
             )
 
 
+def _absorb(
+    baseline: Optional[Baseline], findings: List[Finding]
+) -> List[Finding]:
+    if baseline is None:
+        return findings
+    return [
+        finding.with_status(FindingStatus.BASELINED)
+        if finding.status is FindingStatus.NEW and baseline.absorb(finding)
+        else finding
+        for finding in findings
+    ]
+
+
 def analyze_paths(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     baseline: Optional[Baseline] = None,
     rules: Optional[Sequence[Rule]] = None,
+    need_project: bool = False,
 ) -> AnalysisResult:
     """Run every rule over every Python file under ``paths``.
 
     ``root`` anchors the relative paths used in reports and baseline keys.
     ``baseline`` (if given) absorbs known findings instead of failing them.
+    ``need_project`` forces the whole-program index to be built (and kept
+    on the result) even when no project rule is active — the `--graph`
+    export path.
     """
     active_rules = list(rules) if rules is not None else all_rules()
     if baseline is not None:
         baseline.reset()
     result = AnalysisResult()
+    contexts: List[ModuleContext] = []
     for path in iter_python_files(paths):
         result.files_scanned += 1
         relpath = _relpath(path, root)
@@ -126,18 +149,29 @@ def analyze_paths(
                 )
             )
             continue
+        contexts.append(ctx)
         module_findings = [
             _disposition(ctx, finding) for finding in _dispatch(active_rules, ctx)
         ]
         module_findings.extend(_suppression_hygiene(ctx))
-        if baseline is not None:
-            module_findings = [
-                finding.with_status(FindingStatus.BASELINED)
-                if finding.status is FindingStatus.NEW and baseline.absorb(finding)
-                else finding
-                for finding in module_findings
-            ]
-        result.findings.extend(module_findings)
+        result.findings.extend(_absorb(baseline, module_findings))
+
+    # whole-program pass: one ProjectState shared by every project rule,
+    # findings dispositioned through their module's suppressions/baseline
+    project_rules = [r for r in active_rules if isinstance(r, ProjectRule)]
+    if contexts and (project_rules or need_project):
+        state = ProjectState(index=ProjectIndex.build(contexts))
+        result.project = state
+        ctx_by_path = {ctx.relpath: ctx for ctx in contexts}
+        project_findings: List[Finding] = []
+        for rule in project_rules:
+            for finding in rule.check_project(state):
+                owner = ctx_by_path.get(finding.path)
+                project_findings.append(
+                    _disposition(owner, finding) if owner else finding
+                )
+        result.findings.extend(_absorb(baseline, project_findings))
+
     result.findings.sort(key=Finding.sort_key)
     return result
 

@@ -296,12 +296,16 @@ class OffloadService:
         self._pump = asyncio.get_running_loop().create_task(self._serve())
 
     async def stop(self) -> None:
-        if self._pump is None or self._inbox is None:
+        # capture-and-null BEFORE awaiting: a concurrent stop() (or a
+        # submit()) interleaving at the awaits must see the service already
+        # closed, not half-stopped state it could double-drain
+        pump, inbox = self._pump, self._inbox
+        if pump is None or inbox is None:
             return
-        await self._inbox.put(None)
-        await self._pump
         self._pump = None
         self._inbox = None
+        await inbox.put(None)
+        await pump
 
     async def _serve(self) -> None:
         assert self._inbox is not None

@@ -1,0 +1,13 @@
+# analysis-module: repro.core.fixture_flow_caller
+"""Cross-module pair, caller side: the taint crosses the call boundary.
+
+`token` has no key-shaped name and the secret was produced in ANOTHER
+module — only the interprocedural summary makes this sink reachable.
+"""
+
+from repro.core.fixture_flow_tcb import stretch
+
+
+def report(handle: bytes) -> None:
+    token = stretch(handle)
+    print(token.hex())

@@ -1,0 +1,10 @@
+# analysis-module: repro.core.fixture_flow_tcb
+"""Cross-module pair, TCB side: returns key material derived from a param.
+
+The summary fixpoint records `returns_secret` + param-0 taint-through, so
+callers in *other* modules inherit the taint (see flow_cross_leak.py).
+"""
+
+
+def stretch(key_material: bytes) -> bytes:
+    return key_material + b"\x00" * 4

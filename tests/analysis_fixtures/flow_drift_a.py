@@ -1,0 +1,10 @@
+# analysis-module: repro.flash.fixture_drift
+"""Drift pair, flash side: granted `flash -> crypto` but never imports it.
+
+Scanned together with flow_drift_b.py (which makes `crypto` present), the
+unused grant is architecture drift and must be reported exactly once.
+"""
+
+
+def page_bytes() -> int:
+    return 4096

@@ -1,0 +1,6 @@
+# analysis-module: repro.crypto.fixture_drift_peer
+"""Drift pair, crypto side: present so the flash -> crypto grant is judged."""
+
+
+def rounds() -> int:
+    return 8

@@ -1,0 +1,12 @@
+# analysis-module: repro.flash.fixture_drift_used
+"""Near-miss: the granted `flash -> crypto` edge is actually exercised.
+
+Scanned with flow_drift_b.py, the observed import keeps the grant alive —
+no drift finding.
+"""
+
+from repro.crypto.prng import XorShift64
+
+
+def seeded_rng() -> "XorShift64":
+    return XorShift64(7)

@@ -1,0 +1,14 @@
+# analysis-module: repro.core.fixture_dispatch
+"""Fixture: flow-exception-containment must fire (and sec-broad-except too).
+
+The broad handler converts a detected in-enclave fault into `False` —
+IntegrityError/TeeAbort never reach the §4.5 abort path.
+"""
+
+
+def dispatch(job) -> bool:
+    try:
+        job.run()
+        return True
+    except Exception:
+        return False

@@ -1,0 +1,20 @@
+# analysis-module: repro.serve.fixture_race
+"""Fixture: race-await-atomicity must fire exactly once.
+
+`self.flushing` is checked before the await and cleared after it: another
+task interleaving at the await sees `flushing == True` state that this
+coroutine is about to invalidate (double-flush / lost-update window).
+"""
+
+
+class Flusher:
+    def __init__(self) -> None:
+        self.total = 0
+        self.flushing = False
+
+    async def flush(self, sink) -> None:
+        if self.flushing:
+            return
+        self.flushing = True
+        await sink.send(self.total)
+        self.flushing = False

@@ -1,0 +1,19 @@
+# analysis-module: repro.serve.fixture_race_ok
+"""Near-miss: capture-then-null before the await — no interleaving window.
+
+All shared-state writes happen before the first await; the awaited work
+runs on captured locals, so a task interleaving at the await observes the
+final state, never a half-stopped one.
+"""
+
+
+class Pump:
+    def __init__(self) -> None:
+        self.task = None
+
+    async def stop(self) -> None:
+        task = self.task
+        if task is None:
+            return
+        self.task = None
+        await task

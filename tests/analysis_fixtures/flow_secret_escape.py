@@ -1,0 +1,11 @@
+# analysis-module: repro.core.fixture_flow_leak
+"""Fixture: flow-secret-escape must fire exactly once.
+
+The rename defeats `sec-telemetry-leak`'s name heuristic — only the taint
+fixpoint can still see that `material` IS the session key.
+"""
+
+
+def debug_trace(session_key: bytes) -> None:
+    material = session_key
+    print(material.hex())

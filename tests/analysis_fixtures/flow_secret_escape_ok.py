@@ -1,0 +1,12 @@
+# analysis-module: repro.core.fixture_flow_clean
+"""Near-miss: ciphertext is XOR-declassified, logging it is fine.
+
+`pad` is fully tainted, but the keystream never leaves: what reaches the
+sink is `plaintext ^ pad`, the sealed form the TCB exists to produce.
+"""
+
+
+def trace_ciphertext(session_key: bytes, plaintext: bytes) -> None:
+    stretched = session_key * 4
+    body = bytes(a ^ b for a, b in zip(plaintext, stretched))
+    print(body.hex())

@@ -1,26 +1,85 @@
 #!/usr/bin/env python3
-"""Print per-rule statistics for the committed analysis baseline.
+"""Print TCB-debt statistics: baseline breakdown + in-source waiver counts.
 
 Stdlib-only; used by the CI lint job (and humans) to keep an eye on how much
-legacy debt the baseline is still carrying.  Exits non-zero if the baseline
-file is missing or malformed so CI notices a corrupted checkout.
+legacy debt the committed baseline carries and how many inline
+``# repro: allow[...]`` waivers the tree holds — broken down by rule family
+so a release can see *which* invariant is accumulating debt. Exits non-zero
+if the baseline file is missing or malformed so CI notices a corrupted
+checkout.
 
 Usage::
 
     python tools/print_baseline_stats.py [path/to/analysis-baseline.json]
+        [--src path/to/src]
 """
 
+import argparse
 import json
+import re
 import sys
 from collections import Counter
 from pathlib import Path
 
-DEFAULT_PATH = Path(__file__).resolve().parent.parent / "analysis-baseline.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATH = REPO_ROOT / "analysis-baseline.json"
+
+# mirror of repro.analysis.context._SUPPRESS_RE so waiver counting works
+# even when the package cannot be imported (family lookup is best-effort)
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[a-z0-9_*,\s-]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+def _rule_families():
+    """rule id -> family from the registry; {} when the package is absent."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis import all_rules
+    except Exception:  # noqa: BLE001 - best-effort: stats degrade gracefully
+        return {}
+    return {rule.id: rule.family for rule in all_rules()}
+
+
+def _family_of(rule, families):
+    if rule in families:
+        return families[rule]
+    if rule.startswith("meta-"):
+        return "meta"
+    return rule.split("-")[0]
+
+
+def _scan_waivers(src):
+    """(per-rule Counter, justified, unjustified) for inline waivers."""
+    per_rule = Counter()
+    justified = unjustified = 0
+    for path in sorted(src.rglob("*.py")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            if (match.group("reason") or "").strip():
+                justified += 1
+            else:
+                unjustified += 1
+            for rule in match.group("rules").split(","):
+                rule = rule.strip()
+                if rule:
+                    per_rule[rule] += 1
+    return per_rule, justified, unjustified
 
 
 def main(argv=None):
-    argv = sys.argv[1:] if argv is None else argv
-    path = Path(argv[0]) if argv else DEFAULT_PATH
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_PATH))
+    parser.add_argument(
+        "--src", default=str(REPO_ROOT / "src"),
+        help="tree to scan for inline waivers (default: src/)",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.baseline)
     try:
         payload = json.loads(path.read_text())
     except FileNotFoundError:
@@ -31,26 +90,62 @@ def main(argv=None):
         return 1
 
     if payload.get("version") != 1:
-        print(f"error: unsupported baseline version: {payload.get('version')!r}", file=sys.stderr)
+        print(
+            f"error: unsupported baseline version: {payload.get('version')!r}",
+            file=sys.stderr,
+        )
         return 1
 
+    families = _rule_families()
     entries = payload.get("entries", [])
     by_rule = Counter()
     by_path = Counter()
+    by_family = Counter()
     for entry in entries:
         count = int(entry.get("count", 1))
         by_rule[entry["rule"]] += count
         by_path[entry["path"]] += count
+        by_family[_family_of(entry["rule"], families)] += count
 
     total = sum(by_rule.values())
     print(f"baseline: {path}")
-    print(f"  {total} waived finding(s) across {len(by_path)} file(s)")
-    for rule, count in sorted(by_rule.items(), key=lambda kv: (-kv[1], kv[0])):
-        print(f"    {rule:<24} {count}")
+    print(f"  {total} baselined finding(s) across {len(by_path)} file(s)")
+    if by_family:
+        print("  by family:")
+        for family, count in sorted(
+            by_family.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"    {family:<24} {count}")
+    if by_rule:
+        print("  by rule:")
+        for rule, count in sorted(
+            by_rule.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"    {rule:<24} {count}")
     if by_path:
         print("  by file:")
-        for file_path, count in sorted(by_path.items(), key=lambda kv: (-kv[1], kv[0])):
+        for file_path, count in sorted(
+            by_path.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
             print(f"    {file_path:<48} {count}")
+
+    src = Path(args.src)
+    if src.is_dir():
+        per_rule, justified, unjustified = _scan_waivers(src)
+        print(f"waivers in {src}:")
+        print(
+            f"  {justified + unjustified} inline waiver(s): "
+            f"{justified} justified, {unjustified} unjustified"
+        )
+        if per_rule:
+            print("  by rule:")
+            for rule, count in sorted(
+                per_rule.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                family = _family_of(rule, families)
+                print(f"    {rule:<32} {count}  [{family}]")
+    else:
+        print(f"waivers: src tree not found at {src}, skipped", file=sys.stderr)
     return 0
 
 
