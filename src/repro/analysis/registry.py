@@ -84,6 +84,7 @@ def _load_builtin_rules() -> None:
     from repro.analysis.flow import rules as flow_rules  # noqa: F401
     from repro.analysis.rules import (  # noqa: F401
         determinism,
+        fleet,
         perf,
         recovery,
         resilience,

@@ -1,0 +1,122 @@
+"""Fleet-layer rules.
+
+The fleet layer (shard routing, rebalance, rebuild) is where placement
+decisions multiply: one unseeded choice reshuffles every replica set and
+every campaign fingerprint downstream. These rules pin the layer's
+determinism contract — placement comes from a seeded PRNG and the sim
+clock, never from ambient entropy, the process hash seed, or wallclock.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+
+# code paths that place or move data across the fleet
+_TOPOLOGY_PATH_RE = re.compile(r"route|rebalance|rebuild", re.IGNORECASE)
+
+# any one of these in a topology-path function signals an explicit seed or
+# sim-clock dependency (rather than ambient state)
+_SEEDED_TOKENS = frozenset({"now", "clock", "engine", "rng", "prng", "seed"})
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    return names
+
+
+def _is_property(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        name = decorator.attr if isinstance(decorator, ast.Attribute) else (
+            decorator.id if isinstance(decorator, ast.Name) else ""
+        )
+        if name in ("property", "cached_property"):
+            return True
+    return False
+
+
+def _arg_names(node: ast.FunctionDef) -> Set[str]:
+    args = node.args
+    collected = [
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]
+    return {a.arg for a in collected}
+
+
+@register
+class UnseededTopologyRule(Rule):
+    """Shard placement must be a pure function of (seed, sim clock)."""
+
+    id = "fleet-unseeded-topology"
+    family = "determinism"
+    summary = "fleet topology path without an explicit seed or sim clock"
+    rationale = (
+        "Rack-scale determinism: replica placement feeds every fleet "
+        "fingerprint, so shard-router / rebalance / rebuild paths must "
+        "take an explicit seeded PRNG or sim time. Builtin hash() folds "
+        "in PYTHONHASHSEED, an unseeded XorShift64 falls back to a "
+        "process-global constant stream shared across devices, and a "
+        "placement function with no seed/clock input is ambient by "
+        "construction — all three reshuffle replica sets between runs."
+    )
+    node_types = (ast.Call, ast.FunctionDef)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.package != "fleet":
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_call(node, ctx)
+        elif isinstance(node, ast.FunctionDef):
+            yield from self._check_topology_function(node, ctx)
+
+    def _check_call(self, node: ast.Call, ctx: ModuleContext) -> Iterator[Finding]:
+        if not isinstance(node.func, ast.Name):
+            return
+        if node.func.id == "hash":
+            yield ctx.finding(
+                self.id,
+                node,
+                "builtin hash() depends on PYTHONHASHSEED; place keys with "
+                "a seeded mix (repro.fleet.topology.seeded_mix) instead",
+            )
+        elif node.func.id == "XorShift64" and not node.args and not node.keywords:
+            yield ctx.finding(
+                self.id,
+                node,
+                "XorShift64() without an explicit seed falls back to the "
+                "shared default stream; derive the seed from the run seed "
+                "and device id",
+            )
+
+    def _check_topology_function(
+        self, node: ast.FunctionDef, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not _TOPOLOGY_PATH_RE.search(node.name):
+            return
+        if _is_property(node):
+            return  # derived-state getters report placement, don't do it
+        referenced = _arg_names(node) | _names_in(node)
+        if referenced & _SEEDED_TOKENS:
+            return
+        yield ctx.finding(
+            self.id,
+            node,
+            f"topology path `{node.name}` references no seeded PRNG or sim "
+            "clock (expected one of: " + ", ".join(sorted(_SEEDED_TOKENS)) + "); "
+            "placement must be replayable from (seed, sim time)",
+        )
+
+
+__all__: Tuple[str, ...] = ("UnseededTopologyRule",)

@@ -63,7 +63,8 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
     # perf tooling (profiler, parallel figure runner, bench harness) drives
     # whole experiments, so it sits just below the CLI in the DAG
     "perf": frozenset(
-        {"faults", "flash", "platform", "resilience", "sim", "workloads"}
+        {"faults", "flash", "fleet", "platform", "resilience", "sim",
+         "workloads"}
     ),
     # checkpoint/restore composes every stateful layer's snapshot_state();
     # the monitored layers stay duck-typed (they never import recovery back)
@@ -75,9 +76,17 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
         {"core", "crypto", "faults", "flash", "ftl", "host", "platform",
          "resilience"}
     ),
+    # the fleet layer shards N device stacks behind a consistent-hash
+    # router: it consumes fault plans, resilience policies, recovery
+    # snapshots and the serve wire taxonomy, and nothing below imports it
+    # back (the service's channel-router hook stays duck-typed)
+    "fleet": frozenset(
+        {"crypto", "faults", "platform", "recovery", "resilience", "serve",
+         "sim"}
+    ),
     "cli": frozenset(
-        {"analysis", "faults", "perf", "platform", "recovery", "resilience",
-         "serve", "workloads"}
+        {"analysis", "faults", "fleet", "perf", "platform", "recovery",
+         "resilience", "serve", "workloads"}
     ),
 }
 

@@ -32,6 +32,7 @@ GIB = 1 << 30
 DEFAULT_CHAOS_SEED = 42
 DEFAULT_RESILIENCE_SEED = 7
 DEFAULT_SERVE_SEED = 7
+DEFAULT_FLEET_SEED = 42
 
 
 def _make_profile(args: argparse.Namespace):
@@ -421,6 +422,103 @@ def cmd_serve_lab(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_fleet_arms(
+    seed: int, requests: int, devices: int, replication: int, jobs: int
+):
+    """Both lab arms as fork-pool points (byte-identical at any --jobs)."""
+    from repro.fleet import FleetReport
+    from repro.perf.parallel import fleet_point, map_points
+
+    specs = [
+        fleet_point(seed, requests, devices, 1, False),
+        fleet_point(seed, requests, devices, replication, True),
+    ]
+    off, on = map_points(specs, jobs=jobs)
+    return FleetReport.from_arms(off, on)
+
+
+def cmd_fleet_lab(args: argparse.Namespace) -> int:
+    if args.requests < 10 or args.devices < 2:
+        print(
+            "error: fleet-lab needs at least 10 requests and 2 devices",
+            file=sys.stderr,
+        )
+        return 2
+    if not 1 <= args.replication <= args.devices:
+        print(
+            "error: --replication must lie in [1, --devices]", file=sys.stderr
+        )
+        return 2
+    import json as json_module
+
+    seed = args.seed if args.seed is not None else DEFAULT_FLEET_SEED
+    requests = 600 if args.quick else args.requests
+    report = _run_fleet_arms(
+        seed, requests, args.devices, args.replication, args.jobs
+    )
+    print(report.format())
+    if args.events:
+        print("event log (replication on):")
+        for line in report.on.event_log:
+            print(f"  {line}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            rows = report.csv_rows()
+            fh.write(",".join(rows[0].keys()) + "\n")
+            for row in rows:
+                fh.write(",".join(row.values()) + "\n")
+        print(f"wrote {args.csv}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json_module.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    # the whole campaign — placement, chaos, hedging, rebuild — must be a
+    # pure function of the seed: run it again and require byte-identical
+    # fingerprints (at --jobs N this also proves fork-pool identity)
+    repeat = _run_fleet_arms(
+        seed, requests, args.devices, args.replication, args.jobs
+    )
+    deterministic = report.fingerprint() == repeat.fingerprint()
+    print(f"deterministic: {'yes' if deterministic else 'NO — runs diverged'}")
+    exit_code = 0
+    if not deterministic:
+        exit_code = 1
+    threshold = args.min_availability / 100.0
+    if report.on.availability < threshold:
+        print(
+            f"FAIL: replication-on availability "
+            f"{report.on.availability * 100:.4f}% is below the "
+            f"{args.min_availability:.2f}% floor",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if not report.policy_win:
+        print(
+            "FAIL: replication-on did not strictly beat replication-off "
+            "on availability and p99",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    return exit_code
+
+
+def cmd_fleet_oracle(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet_oracle
+
+    seed = args.seed if args.seed is not None else DEFAULT_FLEET_SEED
+    report = run_fleet_oracle(
+        base_seed=seed,
+        seeds=args.seeds,
+        points=args.points,
+        requests=args.requests,
+        devices=args.devices,
+        progress=print if args.verbose else None,
+    )
+    print(report.format())
+    return 0 if report.all_passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -634,6 +732,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic seed for tenants, arrivals, faults and crypto",
     )
     serve.set_defaults(func=cmd_serve_lab)
+
+    fleet = sub.add_parser(
+        "fleet-lab",
+        help="sharded multi-SSD campaign: replication on vs off under device chaos",
+    )
+    fleet.add_argument(
+        "--requests", type=int, default=2000,
+        help="requests per arm (default 2000)",
+    )
+    fleet.add_argument(
+        "--devices", type=int, default=6, help="fleet size (default 6)"
+    )
+    fleet.add_argument(
+        "--replication", type=int, default=2,
+        help="replica count for the policies-on arm (default 2)",
+    )
+    fleet.add_argument(
+        "--quick", action="store_true", help="small run for CI smoke (600 requests)"
+    )
+    fleet.add_argument(
+        "--min-availability",
+        type=float,
+        default=99.0,
+        help="fail (exit 1) if replication-on availability drops below this %% (default 99)",
+    )
+    fleet.add_argument(
+        "--csv", metavar="PATH", help="write the per-arm summary as CSV"
+    )
+    fleet.add_argument(
+        "--json", metavar="PATH", help="write the full fleet report as JSON"
+    )
+    fleet.add_argument(
+        "--events", "-e", action="store_true",
+        help="print the replication-on chaos/rebuild log",
+    )
+    fleet.add_argument(
+        "--seed", type=int,
+        help="deterministic seed for placement, arrivals and the chaos plan",
+    )
+    _add_jobs_flag(fleet)
+    fleet.set_defaults(func=cmd_fleet_lab)
+
+    fleet_oracle = sub.add_parser(
+        "fleet-oracle",
+        help="fleet crash-point oracle: kill mid-rebuild, restore, fingerprints must match",
+    )
+    fleet_oracle.add_argument(
+        "--requests", type=int, default=400,
+        help="requests per campaign (default 400)",
+    )
+    fleet_oracle.add_argument(
+        "--devices", type=int, default=6, help="fleet size (default 6)"
+    )
+    fleet_oracle.add_argument(
+        "--seeds", type=int, default=2, help="consecutive seeds to sweep (default 2)"
+    )
+    fleet_oracle.add_argument(
+        "--points", type=int, default=7, help="crash points per seed (default 7)"
+    )
+    fleet_oracle.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print each crash point's verdict",
+    )
+    fleet_oracle.add_argument(
+        "--seed", type=int, help="base seed for the sweep"
+    )
+    fleet_oracle.set_defaults(func=cmd_fleet_oracle)
     return parser
 
 

@@ -50,6 +50,22 @@ def resilience_point(seed: int, ops: int) -> Spec:
     return ("resilience", (seed, ops))
 
 
+def fleet_point(
+    seed: int,
+    requests: int,
+    devices: int,
+    replication: int,
+    hedge: bool,
+    device_kills: int = 1,
+    die_quarantines: int = 2,
+) -> Spec:
+    """One fleet lab arm; returns a ``FleetArmReport``."""
+    return (
+        "fleet-arm",
+        (seed, requests, devices, replication, hedge, device_kills, die_quarantines),
+    )
+
+
 def _profile_for(workload: str, seed: Optional[int]) -> Any:
     key = (workload, seed)
     profile = _PROFILE_CACHE.get(key)
@@ -77,6 +93,19 @@ def execute_point(spec: Spec) -> Any:
 
         seed, ops = payload
         return run_resilience(seed=seed, ops=ops)
+    if kind == "fleet-arm":
+        from repro.fleet import run_fleet_arm
+
+        seed, requests, devices, replication, hedge, kills, quarantines = payload
+        return run_fleet_arm(
+            seed,
+            requests,
+            devices=devices,
+            replication=replication,
+            hedge=hedge,
+            device_kills=kills,
+            die_quarantines=quarantines,
+        )
     raise ValueError(f"unknown point kind {kind!r}")
 
 

@@ -206,6 +206,34 @@ class SloTracker:
             and self.percentile("read", 99.0) <= self.objectives.p99_read_s
         )
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Everything recorded so far, as primitives (sorted item lists).
+
+        The sorted-latency cache (``_sorted_cache``) is derived state and is
+        deliberately not captured; restore resets it.
+        """
+        return {
+            "total": self.total,
+            "failures": self.failures,
+            "by_kind": [(k, list(self._by_kind[k])) for k in sorted(self._by_kind)],
+            "failures_by_kind": [
+                (k, self._failures_by_kind[k]) for k in sorted(self._failures_by_kind)
+            ],
+            "windows": [(k, list(self._windows[k])) for k in sorted(self._windows)],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.total = state["total"]
+        self.failures = state["failures"]
+        self._by_kind = {kind: list(vals) for kind, vals in state["by_kind"]}
+        self._failures_by_kind = {
+            kind: count for kind, count in state["failures_by_kind"]
+        }
+        self._windows = {idx: list(pair) for idx, pair in state["windows"]}
+        self._sorted_cache = {}
+
     # -- reporting ------------------------------------------------------------
 
     def summary_lines(self) -> List[str]:

@@ -40,6 +40,8 @@ class WireStatus(enum.Enum):
     AUTH_FAILED = "auth_failed"  # envelope MAC or sequence check failed
     UNKNOWN_SESSION = "unknown_session"  # no established session for the id
     BAD_REQUEST = "bad_request"  # undecodable or malformed request
+    REPLICA_EXHAUSTED = "replica_exhausted"  # every fleet replica attempt failed
+    UNDER_REPLICATED = "under_replicated"  # write quorum missed; rebuild pending
     INTERNAL = "internal"  # anything the mapping does not name
 
 
@@ -51,6 +53,8 @@ RETRYABLE: frozenset = frozenset(
         WireStatus.FAILSAFE,
         WireStatus.TIMEOUT,
         WireStatus.RESOURCE_EXHAUSTED,
+        WireStatus.REPLICA_EXHAUSTED,
+        WireStatus.UNDER_REPLICATED,
     }
 )
 
@@ -62,6 +66,10 @@ DEFAULT_RETRY_AFTER_S: Dict[WireStatus, float] = {
     WireStatus.FAILSAFE: 1500e-6,
     WireStatus.TIMEOUT: 400e-6,
     WireStatus.RESOURCE_EXHAUSTED: 600e-6,
+    # fleet refusals: breakers reopen and rebuild restores replicas on the
+    # sub-millisecond scale, so the hints sit above one breaker probe window
+    WireStatus.REPLICA_EXHAUSTED: 900e-6,
+    WireStatus.UNDER_REPLICATED: 1200e-6,
 }
 
 
@@ -85,6 +93,23 @@ _NVME_TO_WIRE: Dict[NvmeStatus, WireStatus] = {
 def status_for_nvme(status: NvmeStatus) -> WireStatus:
     """Map an NVMe completion status onto the wire taxonomy."""
     return _NVME_TO_WIRE.get(status, WireStatus.INTERNAL)
+
+
+_FLEET_TO_WIRE: Dict[str, WireStatus] = {
+    "replica_exhausted": WireStatus.REPLICA_EXHAUSTED,
+    "under_replicated": WireStatus.UNDER_REPLICATED,
+    "read_error": WireStatus.READ_ERROR,
+}
+
+
+def status_for_fleet(kind: str) -> WireStatus:
+    """Map a fleet refusal kind onto the wire taxonomy.
+
+    ``replica_exhausted``/``under_replicated`` are retryable — breakers
+    reopen and background rebuild restores lost replicas — while
+    ``read_error`` (no surviving replica) is terminal.
+    """
+    return _FLEET_TO_WIRE.get(kind, WireStatus.INTERNAL)
 
 
 def status_for_mode(mode: str) -> WireStatus:
@@ -240,6 +265,7 @@ __all__ = [
     "SealedEnvelope",
     "WireStatus",
     "retry_after_for",
+    "status_for_fleet",
     "status_for_mode",
     "status_for_nvme",
 ]

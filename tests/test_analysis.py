@@ -42,6 +42,7 @@ RULE_FIXTURES = {
     "sim_private_mutation.py": "sim-private-mutation",
     "resilience_unbounded_retry.py": "resilience-unbounded-retry",
     "recovery_unserialized_state.py": "recovery-unserialized-state",
+    "fleet_unseeded_topology.py": "fleet-unseeded-topology",
 }
 
 
