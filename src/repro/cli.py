@@ -175,21 +175,41 @@ def cmd_profile(args: argparse.Namespace) -> int:
         seed=getattr(args, "seed", None),
         sort=args.sort,
         top=args.top,
+        top_allocs=args.top_allocs,
     )
     print(report.format())
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import json
     import pathlib
 
     from repro.perf.bench import (
         check_regression,
+        compare_benches,
         format_bench,
+        format_compare,
         load_bench,
         run_bench,
         write_bench,
     )
+
+    if args.compare:
+        baseline_path, current_path = args.compare
+        comparison = compare_benches(
+            load_bench(pathlib.Path(baseline_path)),
+            load_bench(pathlib.Path(current_path)),
+        )
+        print(format_compare(comparison))
+        if args.compare_json:
+            out = pathlib.Path(args.compare_json)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            with out.open("w") as fh:
+                json.dump(comparison, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {out}")
+        return 0
 
     payload = run_bench(quick=args.quick, jobs=args.jobs)
     print(format_bench(payload))
@@ -562,6 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument(
         "--sort", default="cumulative", choices=("cumulative", "tottime", "ncalls")
     )
+    prof.add_argument(
+        "--top-allocs", type=int, default=0, metavar="N",
+        help="also trace allocations (tracemalloc) and print the top N sites",
+    )
     _add_config_flags(prof)
     prof.set_defaults(func=cmd_profile)
 
@@ -578,6 +602,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--check", metavar="BASELINE",
         help="fail (exit 1) on >25%% calibration-normalized regression vs this file",
+    )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+        help="compare two existing BENCH_<n>.json files (no new measurement)",
+    )
+    bench.add_argument(
+        "--compare-json", metavar="PATH",
+        help="with --compare: also write the comparison as JSON",
     )
     _add_jobs_flag(bench)
     bench.set_defaults(func=cmd_bench)

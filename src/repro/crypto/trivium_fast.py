@@ -16,11 +16,14 @@ is a plain ``(reg >> tap) & MASK64`` — no bit reversal anywhere.
 
 from __future__ import annotations
 
+import repro.speed as speed
 from repro.crypto.trivium import IV_BYTES, KEY_BYTES
 
 MASK64 = (1 << 64) - 1
 _A_BITS, _B_BITS, _C_BITS = 93, 84, 111
 _WARMUP_BLOCKS = 18  # 18 x 64 = 1152 = 4 x 288 spec warm-up clocks
+# below this many blocks the ctypes call overhead beats the C win
+_COMPILED_MIN_BLOCKS = 4
 
 
 def _reversed_bits(value: int, width: int) -> int:
@@ -50,8 +53,7 @@ class TriviumFast:
         self._b = _reversed_bits(iv_bits, 80) << 4
         self._c = 0b111  # s286..s288 = 1 -> positions 2,1,0
         self._buffer = b""
-        for _ in range(_WARMUP_BLOCKS):
-            self._block()
+        self._blocks(_WARMUP_BLOCKS)  # spec warm-up; output discarded
 
     def _block(self) -> int:
         """Advance 64 clocks; returns the 64 output bits (bit j = z_{t+j})."""
@@ -69,18 +71,31 @@ class TriviumFast:
         self._c = (c >> 64) | (new_c << (_C_BITS - 64))
         return z
 
+    def _blocks(self, nblocks: int) -> bytes:
+        """``nblocks`` x 64 keystream bits, advancing the registers.
+
+        Routed through the C kernel under ``REPRO_SPEED=compiled`` when the
+        library is built (byte-identical by construction and pinned by the
+        differential tests); the word-parallel python step otherwise.
+        """
+        if nblocks >= _COMPILED_MIN_BLOCKS:
+            compiled = speed.trivium_blocks(self._a, self._b, self._c, nblocks)
+            if compiled is not None:
+                stream, self._a, self._b, self._c = compiled
+                return stream
+        block = self._block
+        # collect whole 8-byte words and join once, instead of growing an
+        # immutable bytes object per block
+        return b"".join(block().to_bytes(8, "little") for _ in range(nblocks))
+
     def keystream(self, nbytes: int) -> bytes:
         """Generate ``nbytes`` of keystream (LSB-first bit packing)."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         buffered = len(self._buffer)
         if buffered < nbytes:
-            # batch the block generation: collect whole 8-byte words and join
-            # once, instead of growing an immutable bytes object per block
             needed_blocks = (nbytes - buffered + 7) >> 3
-            block = self._block
-            words = [block().to_bytes(8, "little") for _ in range(needed_blocks)]
-            self._buffer += b"".join(words)
+            self._buffer += self._blocks(needed_blocks)
         out, self._buffer = self._buffer[:nbytes], self._buffer[nbytes:]
         return out
 

@@ -12,6 +12,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
+from repro.flash.storm import StormUnsupported, run_read_storm, run_read_storm_events
 from repro.flash.timing import FlashTiming
 from repro.sim.engine import Engine
 from repro.sim.resource import Resource
@@ -120,6 +121,24 @@ class FlashDevice:
         for ppa in ppa_list:
             self.read(ppa, on_done=one_done)
         return remaining
+
+    def read_storm(self, ppas: Iterable[int], window: int = 64) -> int:
+        """Run a windowed closed-loop read storm to completion.
+
+        ``window`` reads stay outstanding; every channel completion issues
+        the next page. The whole storm runs through the batched exact
+        kernel (:mod:`repro.flash.storm`) when the preconditions hold —
+        idle device, no functional chip, no armed monitor — and through
+        the per-event engine otherwise; both produce bit-identical engine
+        and resource state. Requires a non-running engine (the storm is
+        drained to completion before returning). Returns the number of
+        engine events the storm fired.
+        """
+        ppa_list = list(ppas)
+        try:
+            return run_read_storm(self, ppa_list, window)
+        except StormUnsupported:
+            return run_read_storm_events(self, ppa_list, window)
 
     def write_many(self, ppas: Iterable[int], on_all_done: Callback = None) -> int:
         """Issue many writes; ``on_all_done`` fires after the last completes."""

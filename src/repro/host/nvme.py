@@ -28,6 +28,7 @@ from repro.ftl.mapping import AccessDeniedError
 from repro.host.pcie import PcieLink
 from repro.sim.engine import Engine, Event
 from repro.sim.resource import Resource
+from repro.sim.slab import Slab
 from repro.sim.stats import Histogram
 
 SQ_ENTRY_BYTES = 64
@@ -126,6 +127,15 @@ class NvmeCommand:
     def timed_out(self) -> bool:
         return self.status is NvmeStatus.COMMAND_ABORTED
 
+    def reinit(self, opcode: str, nbytes: int, submitted_at: float) -> None:
+        """Re-initialize a slab-recycled command record in place."""
+        self.opcode = opcode
+        self.nbytes = nbytes
+        self.submitted_at = submitted_at
+        self.completed_at = None
+        self.status = NvmeStatus.SUCCESS
+        self.timeout_event = None
+
 
 class NvmeQueuePair:
     """One submission/completion queue pair with bounded depth."""
@@ -155,6 +165,14 @@ class NvmeQueuePair:
         self.error_completions = 0
         self.timeouts = 0
         self.admission_rejections = 0
+        # slab-recycled command records: long soak workloads drain the
+        # completion list back into the slab instead of allocating a fresh
+        # NvmeCommand per I/O. Aggregates survive draining.
+        self._command_slab: Slab[NvmeCommand] = Slab(
+            lambda: NvmeCommand(opcode="read", nbytes=0), max_size=queue_depth * 4
+        )
+        self.completed_count = 0
+        self.completed_bytes = 0
 
     def submit(
         self,
@@ -188,7 +206,8 @@ class NvmeQueuePair:
             raise ValueError(f"unsupported opcode {opcode}")
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        command = NvmeCommand(opcode=opcode, nbytes=nbytes, submitted_at=self.engine.now)
+        command = self._command_slab.acquire()
+        command.reinit(opcode, nbytes, self.engine.now)
 
         if self.admission is not None and not self.admission.admit(
             self.engine.now, self._in_flight + len(self._waiting)
@@ -271,12 +290,34 @@ class NvmeQueuePair:
     def _finalize(self, command: NvmeCommand, on_done) -> None:
         command.completed_at = self.engine.now
         if command.timeout_event is not None:
-            self.engine.cancel(command.timeout_event)
+            # nobody holds the handle past this point: recycle it
+            self.engine.cancel(command.timeout_event, recycle=True)
             command.timeout_event = None
         self.completed.append(command)
+        self.completed_count += 1
+        self.completed_bytes += command.nbytes
         self.latency.record(command.latency)
         if on_done is not None:
             on_done(command)
+
+    def drain_completed(self) -> int:
+        """Recycle finished command records back into the slab.
+
+        Long soak workloads call this between windows so the completion
+        list (and allocation rate) stays bounded. The aggregate counters —
+        ``completed_count``, ``completed_bytes``, the latency histogram and
+        the error/timeout tallies — are accumulated at completion time and
+        are unaffected. Returns the number of records recycled.
+        """
+        drained = len(self.completed)
+        for command in self.completed:
+            self._command_slab.release(command)
+        self.completed.clear()
+        return drained
+
+    @property
+    def slab_stats(self) -> dict:
+        return self._command_slab.stats()
 
     def run(self) -> float:
         return self.engine.run()
@@ -306,6 +347,8 @@ class NvmeQueuePair:
             "error_completions": self.error_completions,
             "timeouts": self.timeouts,
             "admission_rejections": self.admission_rejections,
+            "completed_count": self.completed_count,
+            "completed_bytes": self.completed_bytes,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -325,10 +368,18 @@ class NvmeQueuePair:
         self.error_completions = state["error_completions"]
         self.timeouts = state["timeouts"]
         self.admission_rejections = state["admission_rejections"]
+        # older snapshots predate the drain-aware aggregates: derive them
+        self.completed_count = state.get("completed_count", len(self.completed))
+        self.completed_bytes = state.get(
+            "completed_bytes", sum(c.nbytes for c in self.completed)
+        )
 
     def throughput_bytes_per_s(self) -> float:
-        """Sustained data throughput over the finished run."""
-        if not self.completed or self.engine.now <= 0:
+        """Sustained data throughput over the finished run.
+
+        Counts every completion since construction — including records
+        already recycled by :meth:`drain_completed`.
+        """
+        if self.completed_count == 0 or self.engine.now <= 0:
             return 0.0
-        total = sum(c.nbytes for c in self.completed)
-        return total / self.engine.now
+        return self.completed_bytes / self.engine.now

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+import repro.speed as speed
 from repro.flash.geometry import small_geometry
 from repro.flash.ssd import FlashDevice
 from repro.flash.timing import FlashTiming
@@ -98,25 +99,17 @@ def _bench_kernel_flash_read(quick: bool, jobs: int) -> Optional[int]:
     """Raw event-kernel throughput: a windowed page-read storm.
 
     Single-engine on purpose; parallel speedup is measured by the pipeline
-    cases below.
+    cases below. Goes through :meth:`FlashDevice.read_storm`, which picks
+    the fastest available exact kernel (compiled > vectorized python >
+    per-event engine) for the active ``REPRO_SPEED`` mode — all of them
+    produce byte-identical engine and resource state.
     """
     pages = 2000 if quick else 8000
     engine = Engine()
     geometry = small_geometry(channels=8)
     device = FlashDevice(engine, geometry, FlashTiming())
     pages = min(pages, geometry.total_pages)
-    state = {"next": 0}
-
-    def issue_one() -> None:
-        if state["next"] >= pages:
-            return
-        ppa = state["next"]
-        state["next"] += 1
-        device.read(ppa, on_done=issue_one)
-
-    for _ in range(min(64, pages)):
-        issue_one()
-    engine.run()
+    device.read_storm(range(pages), window=64)
     return engine.events_fired
 
 
@@ -220,6 +213,7 @@ def run_bench(quick: bool = False, jobs: int = 1) -> Dict[str, Any]:
         "mode": "quick" if quick else "full",
         "jobs": jobs,
         "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "speed": speed.describe(),
         "calibration_s": calibration,
         "peak_rss_kb": _peak_rss_kb(),
         "benchmarks": benchmarks,
@@ -297,6 +291,86 @@ def check_regression(
     if compared == 0:
         problems.append("no comparable benchmarks between current run and baseline")
     return problems
+
+
+def compare_benches(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Trajectory comparison between two bench payloads.
+
+    Computes calibration-normalized speedups per case (``>1`` = current is
+    faster) plus raw event-rate ratios where both sides report rates. Used
+    by ``repro bench --compare OLD NEW`` so the committed ``BENCH_<n>.json``
+    files read as a performance trajectory, and by CI to print the trend.
+    """
+    cal_base = baseline.get("calibration_s") or 0.0
+    cal_now = current.get("calibration_s") or 0.0
+    comparable_modes = current.get("mode") == baseline.get("mode")
+    cases: List[Dict[str, Any]] = []
+    baseline_by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    for bench in current.get("benchmarks", []):
+        base = baseline_by_name.get(bench["name"])
+        if base is None:
+            continue
+        entry: Dict[str, Any] = {
+            "name": bench["name"],
+            "wall_s_baseline": base.get("wall_s"),
+            "wall_s_current": bench.get("wall_s"),
+            "events_per_s_baseline": base.get("events_per_s"),
+            "events_per_s_current": bench.get("events_per_s"),
+            "speedup": None,
+            "event_rate_ratio": None,
+        }
+        if (
+            comparable_modes
+            and cal_base > 0
+            and cal_now > 0
+            and base.get("wall_s")
+            and bench.get("wall_s")
+        ):
+            entry["speedup"] = (base["wall_s"] / cal_base) / (
+                bench["wall_s"] / cal_now
+            )
+        if base.get("events_per_s") and bench.get("events_per_s"):
+            entry["event_rate_ratio"] = (
+                bench["events_per_s"] / base["events_per_s"]
+            )
+        cases.append(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "comparable_modes": comparable_modes,
+        "mode_baseline": baseline.get("mode"),
+        "mode_current": current.get("mode"),
+        "calibration_s_baseline": cal_base,
+        "calibration_s_current": cal_now,
+        "speed_baseline": baseline.get("speed"),
+        "speed_current": current.get("speed"),
+        "cases": cases,
+    }
+
+
+def format_compare(comparison: Dict[str, Any]) -> str:
+    """Human-readable speedup table for :func:`compare_benches` output."""
+    lines = [
+        f"bench trajectory: {comparison['mode_baseline']} baseline -> "
+        f"{comparison['mode_current']} current "
+        f"(speedups are calibration-normalized; >1.00x = faster now)"
+    ]
+    if not comparison["comparable_modes"]:
+        lines.append("  WARNING: modes differ; wall-clock speedups suppressed")
+    for case in comparison["cases"]:
+        speedup = case["speedup"]
+        speedup_text = f"{speedup:6.2f}x" if speedup is not None else "      -"
+        rate = case["event_rate_ratio"]
+        if rate is not None:
+            now = case["events_per_s_current"]
+            rate_text = f"  {now:12.0f} ev/s ({rate:.2f}x baseline)"
+        else:
+            rate_text = ""
+        lines.append(f"  {case['name']:>18s}: {speedup_text}{rate_text}")
+    if not comparison["cases"]:
+        lines.append("  (no cases in common)")
+    return "\n".join(lines)
 
 
 def format_bench(payload: Dict[str, Any]) -> str:

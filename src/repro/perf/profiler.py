@@ -34,6 +34,7 @@ class ProfileReport:
     result: RunResult
     profile_table: str
     memo_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    alloc_table: str = ""
 
     def summary_lines(self) -> List[str]:
         lines = [
@@ -55,12 +56,36 @@ class ProfileReport:
                 f"  {name:>28s}: {info['hits']}/{info['misses']}/{info['size']}"
                 f"  ({rate * 100:.1f}% hit)"
             )
+        if self.alloc_table:
+            lines.append("")
+            lines.append(self.alloc_table.rstrip())
         lines.append("")
         lines.append(self.profile_table.rstrip())
         return lines
 
     def format(self) -> str:
         return "\n".join(self.summary_lines())
+
+
+def _format_alloc_stats(statistics: list, top_allocs: int) -> str:
+    """Render tracemalloc per-line statistics as an aligned table."""
+    lines = [f"top {top_allocs} allocation sites (tracemalloc, by total size):"]
+    shown = statistics[:top_allocs]
+    if not shown:
+        lines.append("  (no allocations recorded)")
+    for stat in shown:
+        frame = stat.traceback[0]
+        lines.append(
+            f"  {stat.size / 1024:10.1f} KiB in {stat.count:>8d} blocks  "
+            f"{frame.filename}:{frame.lineno}"
+        )
+    remainder = statistics[top_allocs:]
+    if remainder:
+        other = sum(stat.size for stat in remainder)
+        lines.append(
+            f"  {other / 1024:10.1f} KiB in {len(remainder)} other sites"
+        )
+    return "\n".join(lines)
 
 
 def profile_run(
@@ -70,26 +95,45 @@ def profile_run(
     seed: Optional[int] = None,
     sort: str = "cumulative",
     top: int = 25,
+    top_allocs: int = 0,
 ) -> ProfileReport:
     """Run ``workload`` on ``scheme`` under cProfile.
 
     The workload generation happens *outside* the profiled region — the
     interesting cost is the platform model, and the profile should not be
     dominated by trace synthesis.
+
+    ``top_allocs > 0`` additionally traces allocations with ``tracemalloc``
+    and reports the heaviest allocation sites by total size. Tracing slows
+    the run down (so the cProfile numbers shift), but the *relative* ranking
+    of allocation sites is what the slab/batching work cares about.
     """
     if sort not in _SORT_KEYS:
         raise ValueError(f"sort must be one of {_SORT_KEYS}")
     if top < 1:
         raise ValueError("top must be >= 1")
+    if top_allocs < 0:
+        raise ValueError("top_allocs must be >= 0")
     cfg = config or PlatformConfig()
     kwargs = {} if seed is None else {"seed": seed}
     profile = workload_by_name(workload, **kwargs).run()
     platform = make_platform(scheme, cfg)
 
+    alloc_table = ""
+    if top_allocs:
+        import tracemalloc
+
+        tracemalloc.start()
     profiler = cProfile.Profile()
     profiler.enable()
     result = platform.run(profile)
     profiler.disable()
+    if top_allocs:
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        alloc_table = _format_alloc_stats(
+            snapshot.statistics("lineno"), top_allocs
+        )
 
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
@@ -100,4 +144,5 @@ def profile_run(
         result=result,
         profile_table=stream.getvalue(),
         memo_stats=memo_cache_stats(),
+        alloc_table=alloc_table,
     )

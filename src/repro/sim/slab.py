@@ -1,0 +1,68 @@
+"""A bounded free-list ("slab") for hot-path record objects.
+
+The event kernel's remaining allocation cost is record churn: NVMe command
+records, timer handles, per-access result objects. A :class:`Slab` keeps a
+bounded pool of dead records; ``acquire`` reuses one (after the caller's
+``reset`` hook re-initializes it) instead of constructing, and ``release``
+donates a record back once *no other reference survives* — the same
+contract as a kernel slab allocator. Recycling is always optional: a slab
+that stays empty degrades to plain construction, never to wrong results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, TypeVar
+
+T = TypeVar("T")
+
+
+class Slab(Generic[T]):
+    """Bounded object pool with explicit acquire/release lifecycle."""
+
+    __slots__ = ("_factory", "_free", "max_size", "allocated", "reused", "released")
+
+    def __init__(self, factory: Callable[[], T], max_size: int = 256) -> None:
+        if max_size < 0:
+            raise ValueError("max_size must be non-negative")
+        self._factory = factory
+        self._free: List[T] = []
+        self.max_size = max_size
+        # lifecycle counters (profiler visibility, see `repro profile`)
+        self.allocated = 0
+        self.reused = 0
+        self.released = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> T:
+        """Pop a pooled record, or construct a fresh one.
+
+        The caller owns re-initialization: pooled records come back exactly
+        as they were released.
+        """
+        free = self._free
+        if free:
+            self.reused += 1
+            return free.pop()
+        self.allocated += 1
+        return self._factory()
+
+    def release(self, record: T) -> None:
+        """Donate ``record`` back to the pool.
+
+        Only call this when no other live reference to ``record`` exists;
+        the next ``acquire`` will hand it to an unrelated caller. Beyond
+        ``max_size`` the record is dropped for the garbage collector.
+        """
+        self.released += 1
+        if len(self._free) < self.max_size:
+            self._free.append(record)
+
+    def stats(self) -> dict:
+        return {
+            "free": len(self._free),
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+        }

@@ -1,0 +1,146 @@
+"""The ``REPRO_SPEED`` switch: batched / compiled fast-path selection.
+
+Every fast path in the tree is *fingerprint-identical* to the plain code it
+replaces — same event counts, same float accumulations bit for bit, same
+snapshots. This module only decides which implementation runs:
+
+- ``REPRO_SPEED=off``      — plain per-event code everywhere (the reference).
+- ``REPRO_SPEED=python``   — batched pure-python kernels (the default).
+- ``REPRO_SPEED=compiled`` — additionally use the C kernels from
+  ``tools/speedc.c`` when the shared library has been built (see
+  ``tools/build_speed.py``); falls back to the python kernels per call
+  when it has not. Nothing here ever changes results, so falling back is
+  always safe.
+
+The compiled library is looked up at ``$REPRO_SPEED_LIB`` first, then at
+``<repo>/build/speedc.so``. Loading is lazy and cached; a missing or
+unloadable library simply disables the compiled kernels.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import pathlib
+from typing import Optional, Tuple
+
+MODES = ("off", "python", "compiled")
+_DEFAULT_MODE = "python"
+
+# one-shot caches; reload() resets them (tests flip the env var mid-process)
+_mode_cache: Optional[str] = None
+_lib_cache: Optional[ctypes.CDLL] = None
+_lib_tried = False
+
+
+def default_lib_path() -> pathlib.Path:
+    """Where ``tools/build_speed.py`` drops the shared library."""
+    return pathlib.Path(__file__).resolve().parents[2] / "build" / "speedc.so"
+
+
+def mode() -> str:
+    """The active fast-path mode, parsed once from ``REPRO_SPEED``."""
+    global _mode_cache
+    if _mode_cache is None:
+        raw = os.environ.get("REPRO_SPEED", _DEFAULT_MODE).strip().lower()
+        _mode_cache = raw if raw in MODES else _DEFAULT_MODE
+    return _mode_cache
+
+
+def batch_enabled() -> bool:
+    """True when the batched (python or compiled) kernels may run."""
+    return mode() != "off"
+
+
+def compiled_requested() -> bool:
+    return mode() == "compiled"
+
+
+def reload() -> str:
+    """Re-read ``REPRO_SPEED`` and drop the library cache (for tests)."""
+    global _mode_cache, _lib_cache, _lib_tried
+    _mode_cache = None
+    _lib_cache = None
+    _lib_tried = False
+    return mode()
+
+
+def _load_lib() -> Optional[ctypes.CDLL]:
+    global _lib_cache, _lib_tried
+    if _lib_tried:
+        return _lib_cache
+    _lib_tried = True
+    candidates = []
+    env_path = os.environ.get("REPRO_SPEED_LIB")
+    if env_path:
+        candidates.append(pathlib.Path(env_path))
+    candidates.append(default_lib_path())
+    for path in candidates:
+        if not path.is_file():
+            continue
+        try:
+            lib = ctypes.CDLL(str(path))
+        except OSError:
+            continue
+        try:
+            lib.repro_trivium_blocks.restype = None
+            lib.repro_storm_read.restype = ctypes.c_int
+        except AttributeError:
+            continue  # stale/foreign library: missing entry points
+        _lib_cache = lib
+        return lib
+    return None
+
+
+def lib() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, or None (wrong mode / not built)."""
+    if not compiled_requested():
+        return None
+    return _load_lib()
+
+
+def compiled_available() -> bool:
+    return lib() is not None
+
+
+def describe() -> dict:
+    """Diagnostic summary (surfaced by ``repro bench`` payloads)."""
+    return {
+        "mode": mode(),
+        "compiled_loaded": compiled_available(),
+        "lib_path": str(default_lib_path()),
+    }
+
+
+# -- compiled kernel wrappers --------------------------------------------------
+
+
+def trivium_blocks(a: int, b: int, c: int, nblocks: int) -> Optional[Tuple[bytes, int, int, int]]:
+    """Advance a word-parallel Trivium state ``nblocks`` x 64 clocks in C.
+
+    ``a``/``b``/``c`` are the oldest-bit-first shift registers of
+    :class:`repro.crypto.trivium_fast.TriviumFast` (93/84/111 bits, passed
+    as ints). Returns ``(keystream, a', b', c')`` — byte-identical to
+    ``nblocks`` calls of the python ``_block`` — or None when the compiled
+    path is unavailable.
+    """
+    library = lib()
+    if library is None or nblocks <= 0:
+        return None
+    out = ctypes.create_string_buffer(nblocks * 8)
+    state_out = ctypes.create_string_buffer(48)
+    library.repro_trivium_blocks(
+        a.to_bytes(16, "little"),
+        b.to_bytes(16, "little"),
+        c.to_bytes(16, "little"),
+        ctypes.c_uint64(nblocks),
+        out,
+        state_out,
+    )
+    raw = state_out.raw
+    return (
+        out.raw,
+        int.from_bytes(raw[0:16], "little"),
+        int.from_bytes(raw[16:32], "little"),
+        int.from_bytes(raw[32:48], "little"),
+    )

@@ -1,0 +1,245 @@
+/* Compiled fast-path kernels for REPRO_SPEED=compiled.
+ *
+ * Built by tools/build_speed.py into build/speedc.so and loaded through
+ * ctypes by src/repro/speed.py. Both kernels are bit-identical ports of
+ * their pure-python counterparts — same IEEE-754 double operations in the
+ * same order (no -ffast-math, no FMA contraction), same integer logic —
+ * and the python test suite pins that equivalence differentially. They
+ * carry no state between calls and never touch Python APIs, so the
+ * library is plain C with no interpreter coupling.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+/* -- word-parallel Trivium: 64 keystream bits per step --------------------
+ *
+ * Port of repro.crypto.trivium_fast.TriviumFast._block. Registers are
+ * 93/84/111 bits, oldest state bit at position 0, carried in unsigned
+ * __int128 and exchanged as 16-byte little-endian buffers.
+ */
+
+typedef unsigned __int128 u128;
+
+static u128 load128(const uint8_t *p) {
+    u128 v = 0;
+    for (int i = 15; i >= 0; i--) {
+        v = (v << 8) | p[i];
+    }
+    return v;
+}
+
+static void store128(uint8_t *p, u128 v) {
+    for (int i = 0; i < 16; i++) {
+        p[i] = (uint8_t)v;
+        v >>= 8;
+    }
+}
+
+/* out: nblocks * 8 bytes of keystream (LSB-first bit packing, matching
+ * int.to_bytes(8, "little")); state_out: 48 bytes (a', b', c' as 16-byte
+ * little-endian each). */
+void repro_trivium_blocks(const uint8_t *a16, const uint8_t *b16, const uint8_t *c16,
+                          uint64_t nblocks, uint8_t *out, uint8_t *state_out) {
+    u128 a = load128(a16), b = load128(b16), c = load128(c16);
+    for (uint64_t k = 0; k < nblocks; k++) {
+        uint64_t t1 = (uint64_t)((a >> 27) ^ a); /* s66 ^ s93 */
+        uint64_t t2 = (uint64_t)((b >> 15) ^ b); /* s162 ^ s177 */
+        uint64_t t3 = (uint64_t)((c >> 45) ^ c); /* s243 ^ s288 */
+        uint64_t z = t1 ^ t2 ^ t3;
+        uint64_t nb = t1 ^ (uint64_t)((a >> 2) & (a >> 1)) ^ (uint64_t)(b >> 6);
+        uint64_t nc = t2 ^ (uint64_t)((b >> 2) & (b >> 1)) ^ (uint64_t)(c >> 24);
+        uint64_t na = t3 ^ (uint64_t)((c >> 2) & (c >> 1)) ^ (uint64_t)(a >> 24);
+        a = (a >> 64) | ((u128)na << (93 - 64));
+        b = (b >> 64) | ((u128)nb << (84 - 64));
+        c = (c >> 64) | ((u128)nc << (111 - 64));
+        for (int i = 0; i < 8; i++) {
+            out[k * 8 + i] = (uint8_t)(z >> (8 * i));
+        }
+    }
+    store128(state_out, a);
+    store128(state_out + 16, b);
+    store128(state_out + 32, c);
+}
+
+/* -- two-FIFO windowed read-storm kernel ----------------------------------
+ *
+ * Port of repro.flash.storm._python_kernel. Constant service times make
+ * each completion class a FIFO; the loop merges the two FIFOs by
+ * (time, seq) and updates per-resource statistics with the exact float
+ * additions the event engine would have performed.
+ *
+ * All stat arrays are in-out, seeded with current resource values.
+ * Returns 0 on success, 1 on allocation failure (caller falls back to
+ * the python kernel).
+ */
+
+int repro_storm_read(const int32_t *die_arr, const int32_t *chan_arr,
+                     int64_t n, int32_t ndies, int32_t nchans, int64_t window,
+                     double now0, double t_rd, double t_xfer,
+                     double *die_wait, double *chan_wait,
+                     double *die_serv, double *chan_serv,
+                     int64_t *die_jobs, int64_t *chan_jobs,
+                     int64_t *die_maxq, int64_t *chan_maxq,
+                     double *final_now) {
+    if (n <= 0) {
+        *final_now = now0;
+        return 0;
+    }
+    /* one arena: two completion FIFOs (each read enters each exactly once,
+     * so flat arrays with head/tail cursors suffice) plus linked-list
+     * waiting queues per resource */
+    size_t doubles = (size_t)(4 * n);             /* dq_time, cq_time, enq(die), enq(chan) */
+    size_t int64s = (size_t)(4 * n)               /* dq_seq, cq_seq, dq_idx, cq_idx */
+                    + (size_t)(2 * n)             /* next pointers for die + chan queues */
+                    + (size_t)(2 * (ndies + nchans)); /* queue head/tail per resource */
+    size_t bytes = doubles * sizeof(double) + int64s * sizeof(int64_t)
+                   + (size_t)(ndies + nchans) * sizeof(uint8_t)
+                   + (size_t)(ndies + nchans) * sizeof(int64_t); /* queue lengths */
+    uint8_t *arena = (uint8_t *)malloc(bytes);
+    if (arena == NULL) {
+        return 1;
+    }
+    uint8_t *cursor = arena;
+    double *dq_time = (double *)cursor; cursor += (size_t)n * sizeof(double);
+    double *cq_time = (double *)cursor; cursor += (size_t)n * sizeof(double);
+    double *die_enq = (double *)cursor; cursor += (size_t)n * sizeof(double);
+    double *chan_enq = (double *)cursor; cursor += (size_t)n * sizeof(double);
+    int64_t *dq_seq = (int64_t *)cursor; cursor += (size_t)n * sizeof(int64_t);
+    int64_t *cq_seq = (int64_t *)cursor; cursor += (size_t)n * sizeof(int64_t);
+    int64_t *dq_idx = (int64_t *)cursor; cursor += (size_t)n * sizeof(int64_t);
+    int64_t *cq_idx = (int64_t *)cursor; cursor += (size_t)n * sizeof(int64_t);
+    int64_t *die_next = (int64_t *)cursor; cursor += (size_t)n * sizeof(int64_t);
+    int64_t *chan_next = (int64_t *)cursor; cursor += (size_t)n * sizeof(int64_t);
+    int64_t *die_qhead = (int64_t *)cursor; cursor += (size_t)ndies * sizeof(int64_t);
+    int64_t *die_qtail = (int64_t *)cursor; cursor += (size_t)ndies * sizeof(int64_t);
+    int64_t *chan_qhead = (int64_t *)cursor; cursor += (size_t)nchans * sizeof(int64_t);
+    int64_t *chan_qtail = (int64_t *)cursor; cursor += (size_t)nchans * sizeof(int64_t);
+    int64_t *die_qlen = (int64_t *)cursor; cursor += (size_t)ndies * sizeof(int64_t);
+    int64_t *chan_qlen = (int64_t *)cursor; cursor += (size_t)nchans * sizeof(int64_t);
+    uint8_t *die_busy = cursor; cursor += (size_t)ndies;
+    uint8_t *chan_busy = cursor;
+
+    for (int32_t i = 0; i < ndies; i++) {
+        die_qhead[i] = -1; die_qtail[i] = -1; die_qlen[i] = 0; die_busy[i] = 0;
+    }
+    for (int32_t i = 0; i < nchans; i++) {
+        chan_qhead[i] = -1; chan_qtail[i] = -1; chan_qlen[i] = 0; chan_busy[i] = 0;
+    }
+
+    int64_t dq_head = 0, dq_tail = 0; /* [head, tail) live */
+    int64_t cq_head = 0, cq_tail = 0;
+    int64_t seq = 0;
+    int64_t first = window < n ? window : n;
+
+    for (int64_t k = 0; k < first; k++) {
+        int32_t d = die_arr[k];
+        if (die_busy[d]) {
+            die_enq[k] = now0;
+            die_next[k] = -1;
+            if (die_qtail[d] >= 0) { die_next[die_qtail[d]] = k; } else { die_qhead[d] = k; }
+            die_qtail[d] = k;
+            if (++die_qlen[d] > die_maxq[d]) { die_maxq[d] = die_qlen[d]; }
+        } else {
+            die_busy[d] = 1;
+            seq += 1;
+            dq_time[dq_tail] = now0 + t_rd;
+            dq_seq[dq_tail] = seq;
+            dq_idx[dq_tail] = k;
+            dq_tail++;
+        }
+    }
+    int64_t issued = first;
+    double now = now0;
+
+    while (dq_head < dq_tail || cq_head < cq_tail) {
+        int take_die;
+        if (dq_head >= dq_tail) {
+            take_die = 0;
+        } else if (cq_head >= cq_tail) {
+            take_die = 1;
+        } else {
+            double dt = dq_time[dq_head], ct = cq_time[cq_head];
+            take_die = dt < ct || (dt == ct && dq_seq[dq_head] <= cq_seq[cq_head]);
+        }
+        if (take_die) {
+            now = dq_time[dq_head];
+            int64_t i = dq_idx[dq_head];
+            dq_head++;
+            int32_t d = die_arr[i];
+            die_jobs[d] += 1;
+            die_serv[d] += t_rd;
+            if (die_qhead[d] >= 0) {
+                int64_t j = die_qhead[d];
+                die_qhead[d] = die_next[j];
+                if (die_qhead[d] < 0) { die_qtail[d] = -1; }
+                die_qlen[d]--;
+                die_wait[d] += now - die_enq[j];
+                seq += 1;
+                dq_time[dq_tail] = now + t_rd;
+                dq_seq[dq_tail] = seq;
+                dq_idx[dq_tail] = j;
+                dq_tail++;
+            } else {
+                die_busy[d] = 0;
+            }
+            int32_t c = chan_arr[i];
+            if (chan_busy[c]) {
+                chan_enq[i] = now;
+                chan_next[i] = -1;
+                if (chan_qtail[c] >= 0) { chan_next[chan_qtail[c]] = i; } else { chan_qhead[c] = i; }
+                chan_qtail[c] = i;
+                if (++chan_qlen[c] > chan_maxq[c]) { chan_maxq[c] = chan_qlen[c]; }
+            } else {
+                chan_busy[c] = 1;
+                seq += 1;
+                cq_time[cq_tail] = now + t_xfer;
+                cq_seq[cq_tail] = seq;
+                cq_idx[cq_tail] = i;
+                cq_tail++;
+            }
+        } else {
+            now = cq_time[cq_head];
+            int64_t i = cq_idx[cq_head];
+            cq_head++;
+            int32_t c = chan_arr[i];
+            chan_jobs[c] += 1;
+            chan_serv[c] += t_xfer;
+            if (chan_qhead[c] >= 0) {
+                int64_t j = chan_qhead[c];
+                chan_qhead[c] = chan_next[j];
+                if (chan_qhead[c] < 0) { chan_qtail[c] = -1; }
+                chan_qlen[c]--;
+                chan_wait[c] += now - chan_enq[j];
+                seq += 1;
+                cq_time[cq_tail] = now + t_xfer;
+                cq_seq[cq_tail] = seq;
+                cq_idx[cq_tail] = j;
+                cq_tail++;
+            } else {
+                chan_busy[c] = 0;
+            }
+            if (issued < n) {
+                int64_t k = issued++;
+                int32_t d = die_arr[k];
+                if (die_busy[d]) {
+                    die_enq[k] = now;
+                    die_next[k] = -1;
+                    if (die_qtail[d] >= 0) { die_next[die_qtail[d]] = k; } else { die_qhead[d] = k; }
+                    die_qtail[d] = k;
+                    if (++die_qlen[d] > die_maxq[d]) { die_maxq[d] = die_qlen[d]; }
+                } else {
+                    die_busy[d] = 1;
+                    seq += 1;
+                    dq_time[dq_tail] = now + t_rd;
+                    dq_seq[dq_tail] = seq;
+                    dq_idx[dq_tail] = k;
+                    dq_tail++;
+                }
+            }
+        }
+    }
+    free(arena);
+    *final_now = now;
+    return 0;
+}
