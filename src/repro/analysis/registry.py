@@ -88,6 +88,7 @@ def _load_builtin_rules() -> None:
         perf,
         recovery,
         resilience,
+        search,
         security,
         simtime,
     )

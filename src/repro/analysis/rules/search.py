@@ -1,0 +1,126 @@
+"""Search-layer rules.
+
+The scenario-search engine's whole contract is *replayability*: a corpus
+entry is only a repro if the campaign that found it can be re-run
+byte-for-byte from its seed. Every stochastic choice — mutation operator
+picks, crossover gene flips, random seeding — must therefore draw from the
+one threaded, explicitly seeded PRNG. A single ambient draw (a fresh
+default-seeded ``XorShift64``, anything from the ``random`` module) makes
+corpora irreproducible in a way no test notices until replay diverges.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import Rule, register
+
+# function names that mutate, recombine, or sample genomes
+_STOCHASTIC_PATH_RE = re.compile(r"mutate|crossover|sample|select|breed", re.IGNORECASE)
+
+# an explicit threaded-PRNG dependency looks like one of these names
+_PRNG_TOKENS = frozenset({"rng", "prng"})
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+    return names
+
+
+def _arg_names(node: ast.FunctionDef) -> Set[str]:
+    args = node.args
+    collected = [
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]
+    return {a.arg for a in collected}
+
+
+@register
+class UnseededSearchRandomnessRule(Rule):
+    """Search mutation/selection must draw from the threaded seeded PRNG."""
+
+    id = "search-unseeded-randomness"
+    family = "determinism"
+    summary = "search-layer randomness outside the threaded seeded PRNG"
+    rationale = (
+        "Corpus replayability: a search campaign is a pure function of its "
+        "seed only if every mutation, crossover and sampling draw flows "
+        "through the one threaded XorShift64. A fresh XorShift64() falls "
+        "back to the process-global default stream, and random.* folds in "
+        "interpreter state — either silently breaks the byte-identical "
+        "double-run guarantee the corpus fingerprint asserts."
+    )
+    node_types = (ast.Call, ast.FunctionDef)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.package != "search":
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_call(node, ctx)
+        elif isinstance(node, ast.FunctionDef):
+            yield from self._check_stochastic_function(node, ctx)
+
+    def _check_call(self, node: ast.Call, ctx: ModuleContext) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "XorShift64" and not node.args and not node.keywords:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "XorShift64() without an explicit seed draws from the "
+                    "shared default stream; thread the campaign PRNG (or "
+                    "derive a sub-seed from it) instead",
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        root = func.value
+        if isinstance(root, ast.Name) and root.id == "random":
+            yield ctx.finding(
+                self.id,
+                node,
+                f"random.{func.attr}() is ambient interpreter entropy; "
+                "search draws must come from the threaded XorShift64",
+            )
+        elif (
+            isinstance(root, ast.Attribute)
+            and root.attr == "random"
+            and isinstance(root.value, ast.Name)
+            and root.value.id in ("np", "numpy")
+        ):
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{root.value.id}.random.{func.attr}() is not replayable "
+                "from the campaign seed; use the threaded XorShift64",
+            )
+
+    def _check_stochastic_function(
+        self, node: ast.FunctionDef, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if not _STOCHASTIC_PATH_RE.search(node.name):
+            return
+        referenced = _arg_names(node) | _names_in(node)
+        if referenced & _PRNG_TOKENS:
+            return
+        yield ctx.finding(
+            self.id,
+            node,
+            f"stochastic search path `{node.name}` references no threaded "
+            "PRNG (expected one of: " + ", ".join(sorted(_PRNG_TOKENS)) + "); "
+            "mutation/selection must be replayable from the campaign seed",
+        )
+
+
+__all__: Tuple[str, ...] = ("UnseededSearchRandomnessRule",)

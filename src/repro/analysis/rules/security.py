@@ -87,9 +87,16 @@ LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
         {"crypto", "faults", "platform", "recovery", "resilience", "serve",
          "sim"}
     ),
+    # the scenario-search layer drives whole campaigns as black boxes: it
+    # composes the chaos/resilience/fleet/serve harnesses and the recovery
+    # oracle, and nothing below ever imports it back
+    "search": frozenset(
+        {"crypto", "faults", "fleet", "recovery", "resilience", "serve",
+         "sim", "workloads"}
+    ),
     "cli": frozenset(
         {"analysis", "faults", "fleet", "perf", "platform", "recovery",
-         "resilience", "serve", "workloads"}
+         "resilience", "search", "serve", "workloads"}
     ),
 }
 

@@ -33,6 +33,7 @@ DEFAULT_CHAOS_SEED = 42
 DEFAULT_RESILIENCE_SEED = 7
 DEFAULT_SERVE_SEED = 7
 DEFAULT_FLEET_SEED = 42
+DEFAULT_SEARCH_SEED = 7
 
 
 def _make_profile(args: argparse.Namespace):
@@ -233,21 +234,63 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print("error: chaos needs at least 10 operations (--ops)", file=sys.stderr)
         return 2
     from repro.faults import run_chaos
+    from repro.faults.chaos import ChaosRunner
 
     seed = args.seed if args.seed is not None else DEFAULT_CHAOS_SEED
     # one workload execution shapes both chaos runs, so the determinism
     # check below compares the fault machinery alone
     profile = _make_profile(args)
-    report = run_chaos(args.workload, profile.write_ratio, seed=seed, ops=args.ops)
+    suite = None
+    if args.monitors:
+        from repro.recovery import MonitorSuite
+
+        # collect mode: violations become counters, the run finishes
+        suite = MonitorSuite(raise_on_violation=False)
+        runner = ChaosRunner(
+            args.workload, profile.write_ratio, seed=seed, ops=args.ops
+        )
+        runner.arm_monitors(suite)
+        report = runner.run()
+    else:
+        report = run_chaos(
+            args.workload, profile.write_ratio, seed=seed, ops=args.ops
+        )
     print(report.format())
+    monitor_violations = 0
+    if suite is not None:
+        from repro.platform.metrics import RunResult
+
+        result = RunResult.from_chaos(report)
+        result.record_recovery(suite.stats)
+        monitor_violations = len(suite.records)
+        counts = suite.violation_counts()
+        print(
+            f"  monitors        : {int(suite.stats.invariant_checks)} checks,"
+            f" {monitor_violations} violations"
+            + (
+                " ("
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+                + ")"
+                if counts
+                else ""
+            )
+        )
+        for record in suite.records:
+            print(
+                f"    violation[{record['monitor']}] {record['component']}:"
+                f" {record['detail']}"
+            )
+        print(f"  run fingerprint : {result.fingerprint()}")
     if args.events:
         print("event log:")
         for line in report.event_log:
             print(f"  {line}")
+    # the repeat run is always unarmed, so with --monitors this equality also
+    # proves the armed suite is fingerprint-neutral
     repeat = run_chaos(args.workload, profile.write_ratio, seed=seed, ops=args.ops)
     deterministic = report.fingerprint() == repeat.fingerprint()
     print(f"deterministic: {'yes' if deterministic else 'NO — runs diverged'}")
-    if not deterministic or report.invariant_violations:
+    if not deterministic or report.invariant_violations or monitor_violations:
         return 1
     return 0
 
@@ -523,6 +566,74 @@ def cmd_fleet_lab(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.search import (
+        SearchConfig,
+        build_corpus,
+        replay_path,
+        run_search,
+        save_corpus,
+    )
+    from repro.search.genome import TARGETS
+
+    if args.replay:
+        try:
+            report = replay_path(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.format())
+        if not report.all_reproduced:
+            print("FAIL: corpus entries did not reproduce", file=sys.stderr)
+            return 1
+        return 0
+
+    targets = tuple(t.strip() for t in args.targets.split(",") if t.strip())
+    unknown = sorted(set(targets) - set(TARGETS))
+    if unknown:
+        print(
+            f"error: unknown targets {', '.join(unknown)} "
+            f"(known: {', '.join(TARGETS)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.budget < 1:
+        print("error: --budget must be positive", file=sys.stderr)
+        return 2
+    seed = args.seed if args.seed is not None else DEFAULT_SEARCH_SEED
+    config = SearchConfig(
+        budget_ops=args.budget, targets=targets, shrink=not args.no_shrink
+    )
+    result = run_search(seed, config)
+    for line in result.log:
+        print(line)
+    stats = result.stats
+    print(
+        f"search seed={seed}: {stats.evaluations} evaluations"
+        f" ({stats.dedup_hits} deduped), {stats.sim_ops_spent} sim-ops,"
+        f" {len(result.hits)} hits, {len(result.minimal)} shrunk"
+    )
+    for hit in result.hits[:5]:
+        objectives = ", ".join(
+            f"{name}={score:g}" for name, score in sorted(hit.objectives.items())
+        )
+        print(f"  hit {hit.scenario.fingerprint()[:12]}: {objectives}")
+        print(f"      {hit.scenario.describe()}")
+    for fingerprint, shrunk in sorted(result.minimal.items()):
+        print(
+            f"  minimal {shrunk.scenario.fingerprint()[:12]}"
+            f" (from {fingerprint[:12]}): {shrunk.objective}={shrunk.score:g}"
+        )
+        print(f"      {shrunk.scenario.describe()}")
+    document = build_corpus(result)
+    out = save_corpus(document, args.out)
+    print(f"wrote {out} (fingerprint {document['fingerprint']})")
+    if not result.hits:
+        print("FAIL: no scoring scenario found within budget", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_fleet_oracle(args: argparse.Namespace) -> int:
     from repro.fleet import run_fleet_oracle
 
@@ -630,6 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--events", "-e", action="store_true", help="print the full fault event log"
+    )
+    chaos.add_argument(
+        "--monitors", action="store_true",
+        help="arm the runtime invariant monitors in collect mode: violations "
+        "become structured counters and a nonzero exit, the fingerprint is "
+        "unchanged",
     )
     _add_config_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
@@ -805,6 +922,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(fleet)
     fleet.set_defaults(func=cmd_fleet_lab)
+
+    search = sub.add_parser(
+        "search",
+        help="adversarial scenario search over the fault x workload x config space",
+    )
+    search.add_argument(
+        "--budget", type=int, default=20_000,
+        help="simulated-operation budget for the ascent (default 20000)",
+    )
+    search.add_argument(
+        "--targets", default="chaos,resilience",
+        help="comma-separated campaign targets "
+        "(chaos, fleet, oracle, resilience, serve; default chaos,resilience)",
+    )
+    search.add_argument(
+        "--out", default="search-corpus.json",
+        help="corpus output path (default search-corpus.json)",
+    )
+    search.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging hits down to minimal repros",
+    )
+    search.add_argument(
+        "--replay", metavar="CORPUS",
+        help="replay an existing corpus instead of searching; every entry "
+        "must reproduce its objective with a byte-identical run fingerprint",
+    )
+    search.add_argument(
+        "--seed", type=int,
+        help="deterministic seed for the whole campaign (default 7)",
+    )
+    search.set_defaults(func=cmd_search)
 
     fleet_oracle = sub.add_parser(
         "fleet-oracle",

@@ -9,7 +9,7 @@ event log and stats — checkable at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 from typing import Dict, List
 
@@ -64,6 +64,29 @@ class FaultPlanConfig:
             + self.power_losses
             + self.power_losses_mid_gc
         )
+
+    # -- genome encoding (repro.search) ----------------------------------------
+    #
+    # A plan config is one dimension of a search Scenario genome, so it
+    # round-trips through plain primitives: field name -> count, always in
+    # dataclass field order.
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, genes: Dict[str, int]) -> "FaultPlanConfig":
+        """Build a config from a gene dict; unknown genes are an error,
+        missing genes default to zero (a shrunk-away fault class)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(genes) - known)
+        if unknown:
+            raise ValueError(f"unknown fault genes: {', '.join(unknown)}")
+        counts = {name: int(genes.get(name, 0)) for name in sorted(known)}
+        for name, count in sorted(counts.items()):
+            if count < 0:
+                raise ValueError(f"fault gene {name} must be >= 0, got {count}")
+        return cls(**counts)
 
 
 @dataclass

@@ -55,10 +55,24 @@ class MonitorSuite:
     only primes the shadow. That skip is deterministic — it happens at the
     same operation on every resumed run — and shadow priming touches nothing
     a report fingerprints.
+
+    With ``raise_on_violation=False`` the suite *collects* instead of
+    raising: each violation is appended to :attr:`records` (and counted in
+    ``stats.violations``) while the run continues. That is the mode the
+    chaos CLI's ``--monitors`` flag and the search objectives use — the run
+    finishes, violations become structured counters, and because records
+    live on the suite rather than the report, an armed run keeps the exact
+    fingerprint of a disabled one.
     """
 
-    def __init__(self, stats: Optional[RecoveryStats] = None) -> None:
+    def __init__(
+        self,
+        stats: Optional[RecoveryStats] = None,
+        raise_on_violation: bool = True,
+    ) -> None:
         self.stats = stats if stats is not None else RecoveryStats()
+        self.raise_on_violation = raise_on_violation
+        self.records: List[Dict[str, str]] = []
         self._counter_shadow: Dict[Tuple[str, int, int], Tuple[int, int]] = {}
         self._last_now: Optional[float] = None
 
@@ -148,7 +162,19 @@ class MonitorSuite:
 
     def _fail(self, monitor: str, component: str, detail: str) -> None:
         self.stats.violations += 1
-        raise InvariantViolation(monitor, component, detail)
+        if self.raise_on_violation:
+            raise InvariantViolation(monitor, component, detail)
+        self.records.append(
+            {"monitor": monitor, "component": component, "detail": detail}
+        )
+
+    def violation_counts(self) -> Dict[str, int]:
+        """Collected violations bucketed per monitor (collect mode only)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            name = record["monitor"]
+            counts[name] = counts.get(name, 0) + 1
+        return counts
 
 
 __all__ = ["InvariantViolation", "MonitorSuite"]

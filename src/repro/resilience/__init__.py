@@ -27,6 +27,7 @@ from repro.resilience.lab import (
     PolicySuite,
     ResilienceReport,
     run_resilience,
+    run_resilience_arm,
 )
 from repro.resilience.policy import HedgePolicy, RetryPolicy, TimeoutBudget
 
@@ -49,4 +50,5 @@ __all__ = [
     "TimeoutBudget",
     "TokenBucket",
     "run_resilience",
+    "run_resilience_arm",
 ]

@@ -710,6 +710,29 @@ class ResilienceReport:
         return rows
 
 
+def run_resilience_arm(
+    seed: int,
+    ops: int,
+    policies: bool,
+    config: Optional[LabConfig] = None,
+    suite: Optional[PolicySuite] = None,
+    plan_config: Optional[FaultPlanConfig] = None,
+) -> ArmReport:
+    """Run a single lab arm (pure function of its arguments).
+
+    The scenario-search layer drives one arm at a time — usually
+    policies-off, hunting for the fault×workload×config mix that does the
+    most SLO damage — so the two-arm pairing of :func:`run_resilience` is
+    wasted work there. Same seed + config + plan ⇒ byte-identical report.
+    """
+    cfg = config or LabConfig()
+    if cfg.ops != ops:
+        cfg = dataclasses.replace(cfg, ops=ops)
+    plan = FaultPlan.generate(seed, cfg.ops, plan_config or FaultPlanConfig())
+    arm_suite = (suite or PolicySuite()) if policies else None
+    return _Arm(seed, cfg, plan, suite=arm_suite).run()
+
+
 def run_resilience(
     seed: int = 7,
     ops: int = 2000,
@@ -740,4 +763,5 @@ __all__ = [
     "PolicySuite",
     "ResilienceReport",
     "run_resilience",
+    "run_resilience_arm",
 ]

@@ -1,0 +1,129 @@
+"""Pluggable objectives: what makes a scenario worth keeping.
+
+An :class:`Objective` scores an :class:`~repro.search.adapters.Evaluation`;
+a strictly positive score is a *hit* — the genome demonstrably damaged the
+stack in that objective's sense. Scores come straight from existing run
+signals (invariant monitors, SLO error-budget burn, durability counters,
+oracle divergence); no objective re-runs anything.
+
+Objectives are plain frozen dataclasses with a named scoring function, so
+the catalog is data: corpus entries record ``{objective name: score}`` and
+replay re-checks the same names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.search.adapters import SLO_AVAILABILITY, Evaluation
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One named way a scenario can hurt the stack."""
+
+    name: str
+    targets: Tuple[str, ...]
+    description: str
+    scorer: Callable[[Evaluation], float]
+
+    def applies_to(self, target: str) -> bool:
+        return target in self.targets
+
+    def score(self, evaluation: Evaluation) -> float:
+        if not self.applies_to(evaluation.target):
+            return 0.0
+        return max(0.0, self.scorer(evaluation))
+
+
+def _invariant_score(ev: Evaluation) -> float:
+    return ev.signal("invariant_violations") + ev.signal("monitor_violations")
+
+
+def _budget_burn_score(ev: Evaluation) -> float:
+    # only a *blown* error budget counts: burn is failures as a multiple of
+    # the budget, so the score is how far past 1.0 the burn went
+    return ev.signal("error_budget_burn") - 1.0
+
+
+def _availability_loss_score(ev: Evaluation) -> float:
+    # percentage points below the SLO floor
+    return (SLO_AVAILABILITY - ev.signal("availability")) * 100.0
+
+
+def _data_loss_score(ev: Evaluation) -> float:
+    return ev.signal("keys_lost") + ev.signal("lost") + ev.signal("corrupt")
+
+
+def _exposure_score(ev: Evaluation) -> float:
+    return ev.signal("under_replicated_key_seconds")
+
+
+def _divergence_score(ev: Evaluation) -> float:
+    return ev.signal("divergence")
+
+
+OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(
+        name="invariant-violation",
+        targets=("chaos", "oracle"),
+        description="ground-truth or monitor invariant broke during the run",
+        scorer=_invariant_score,
+    ),
+    Objective(
+        name="slo-error-budget",
+        targets=("resilience", "serve"),
+        description="failures exceeded the 1% error budget (burn > 1.0)",
+        scorer=_budget_burn_score,
+    ),
+    Objective(
+        name="availability-loss",
+        targets=("resilience", "serve", "fleet"),
+        description="availability dropped below the 99% SLO floor",
+        scorer=_availability_loss_score,
+    ),
+    Objective(
+        name="data-loss",
+        targets=("fleet",),
+        description="keys lost or read back wrong after rebuild",
+        scorer=_data_loss_score,
+    ),
+    Objective(
+        name="under-replication-exposure",
+        targets=("fleet",),
+        description="key-seconds spent below the replication target",
+        scorer=_exposure_score,
+    ),
+    Objective(
+        name="oracle-divergence",
+        targets=("oracle",),
+        description="checkpoint/restore round-trip changed the fingerprint",
+        scorer=_divergence_score,
+    ),
+)
+
+OBJECTIVES_BY_NAME: Dict[str, Objective] = {o.name: o for o in OBJECTIVES}
+
+
+def score_evaluation(evaluation: Evaluation) -> Dict[str, float]:
+    """All positive objective scores for one evaluation (sorted by name)."""
+    scores: Dict[str, float] = {}
+    for objective in OBJECTIVES:
+        value = objective.score(evaluation)
+        if value > 0.0:
+            scores[objective.name] = value
+    return dict(sorted(scores.items()))
+
+
+def total_score(scores: Dict[str, float]) -> float:
+    return sum(scores.values())
+
+
+__all__ = [
+    "OBJECTIVES",
+    "OBJECTIVES_BY_NAME",
+    "Objective",
+    "score_evaluation",
+    "total_score",
+]

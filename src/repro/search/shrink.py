@@ -1,0 +1,138 @@
+"""Delta-debugging shrinker: reduce a hit to a minimal repro genome.
+
+Given a scenario that trips an objective, the shrinker tries a fixed,
+deterministic sequence of reductions — zero a fault gene, halve a fault
+gene, halve the op count toward the target's floor, reset the workload
+mix and config knobs to defaults — and keeps any reduction after which
+the *same objective* still scores positive. The sweep restarts from the
+smallest accepted genome (greedy first-improvement, ddmin-style) and
+stops at a fixed point: a full sweep where no candidate survives.
+
+The shrinker draws no randomness at all — candidate order is a pure
+function of the genome — so the same hit shrinks to the same minimal
+repro on every run, and shrinking a minimal repro is a no-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+from repro.search.adapters import Evaluation
+from repro.search.genome import DEFAULT_WORKLOAD, MIN_OPS, Scenario, default_config
+from repro.search.objectives import OBJECTIVES_BY_NAME
+
+DEFAULT_MAX_EVALS = 64
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimal repro plus the trail that led there."""
+
+    scenario: Scenario
+    evaluation: Evaluation
+    objective: str
+    score: float
+    evals_used: int
+    steps: Tuple[str, ...] = ()
+
+    @property
+    def at_fixed_point(self) -> bool:
+        """True when the final sweep completed without an accepted step."""
+        return not self.steps or self.steps[-1].startswith("fixed-point")
+
+
+def _candidates(scenario: Scenario) -> Iterator[Tuple[str, Scenario]]:
+    """Deterministic reduction order: boldest cuts first."""
+    # 1. drop whole fault classes
+    for gene in sorted(scenario.faults):
+        if scenario.faults.get(gene, 0) > 0:
+            faults = dict(scenario.faults)
+            faults[gene] = 0
+            yield f"zero:{gene}", dataclasses.replace(scenario, faults=faults)
+    # 2. halve surviving fault classes
+    for gene in sorted(scenario.faults):
+        if scenario.faults.get(gene, 0) > 1:
+            faults = dict(scenario.faults)
+            faults[gene] = faults[gene] // 2
+            yield f"halve:{gene}", dataclasses.replace(scenario, faults=faults)
+    # 3. shorten the run toward the target's floor
+    floor = MIN_OPS[scenario.target]
+    if scenario.ops > floor:
+        shorter = max(floor, scenario.ops // 2)
+        yield f"ops:{shorter}", dataclasses.replace(scenario, ops=shorter)
+    # 4. reset the workload dimension
+    if scenario.workload != DEFAULT_WORKLOAD:
+        yield "workload:default", dataclasses.replace(
+            scenario, workload=dict(DEFAULT_WORKLOAD)
+        )
+    # 5. reset config knobs one at a time
+    defaults = default_config(scenario.target)
+    for name in sorted(scenario.config):
+        if name in defaults and scenario.config[name] != defaults[name]:
+            config = dict(scenario.config)
+            config[name] = defaults[name]
+            yield f"config:{name}", dataclasses.replace(scenario, config=config)
+
+
+def shrink(
+    scenario: Scenario,
+    objective_name: str,
+    evaluate: Callable[[Scenario], Evaluation],
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> ShrinkResult:
+    """Reduce ``scenario`` while ``objective_name`` keeps scoring positive.
+
+    ``evaluate`` is the (budget-charging, memoizing) evaluation function the
+    engine threads in; the shrinker itself is randomness-free. Raises
+    ``KeyError`` for an unknown objective and ``ValueError`` if the starting
+    scenario does not trip it.
+    """
+    objective = OBJECTIVES_BY_NAME[objective_name]
+    current = scenario
+    evaluation = evaluate(current)
+    score = objective.score(evaluation)
+    if score <= 0.0:
+        raise ValueError(
+            f"cannot shrink: objective {objective_name!r} does not fire on "
+            f"{scenario.fingerprint()[:12]}"
+        )
+    evals = 1
+    steps: List[str] = []
+
+    progressed = True
+    while progressed and evals < max_evals:
+        progressed = False
+        for label, candidate in _candidates(current):
+            if evals >= max_evals:
+                steps.append("eval-cap")
+                break
+            if candidate.fingerprint() == current.fingerprint():
+                continue
+            candidate_eval = evaluate(candidate)
+            evals += 1
+            candidate_score = objective.score(candidate_eval)
+            if candidate_score > 0.0:
+                current = candidate
+                evaluation = candidate_eval
+                score = candidate_score
+                steps.append(label)
+                progressed = True
+                break  # restart the sweep from the smaller genome
+        else:
+            steps.append("fixed-point")
+    if steps and steps[-1] not in ("fixed-point", "eval-cap") and evals >= max_evals:
+        steps.append("eval-cap")
+
+    return ShrinkResult(
+        scenario=current,
+        evaluation=evaluation,
+        objective=objective_name,
+        score=score,
+        evals_used=evals,
+        steps=tuple(steps),
+    )
+
+
+__all__ = ["DEFAULT_MAX_EVALS", "ShrinkResult", "shrink"]

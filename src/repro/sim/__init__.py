@@ -10,6 +10,8 @@ from repro.sim.resource import Resource
 from repro.sim.stats import (
     Counter,
     Histogram,
+    SearchStats,
+    SimBudget,
     StatRegistry,
     memo_cache_stats,
     register_memo,
@@ -21,6 +23,8 @@ __all__ = [
     "Resource",
     "Counter",
     "Histogram",
+    "SearchStats",
+    "SimBudget",
     "StatRegistry",
     "memo_cache_stats",
     "register_memo",

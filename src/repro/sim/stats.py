@@ -76,6 +76,61 @@ class RecoveryStats:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
+@dataclass
+class SearchStats:
+    """Counters for the adversarial scenario search (:mod:`repro.search`).
+
+    ``evaluations`` counts scenario executions (cache misses only);
+    ``dedup_hits`` counts genomes the memo served without re-running;
+    ``sim_ops_spent`` is the simulated-operation budget actually consumed;
+    ``corpus_entries`` counts deduplicated scoring scenarios retained;
+    ``shrink_evals`` counts evaluations spent inside the delta-debugging
+    shrinker (budgeted separately from exploration).
+    """
+
+    evaluations: int = 0
+    dedup_hits: int = 0
+    sim_ops_spent: int = 0
+    corpus_entries: int = 0
+    shrink_evals: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class SimBudget:
+    """A wall-clock-free search budget denominated in simulated operations.
+
+    Every scenario evaluation charges its simulated cost (operation or
+    request count) here; exploration stops when the budget is spent. Being
+    counted in simulated work — never wall time — keeps search runs exactly
+    reproducible across machines of any speed.
+    """
+
+    __slots__ = ("total_ops", "spent_ops")
+
+    def __init__(self, total_ops: int) -> None:
+        if total_ops < 1:
+            raise ValueError("search budget must be positive")
+        self.total_ops = total_ops
+        self.spent_ops = 0
+
+    @property
+    def remaining_ops(self) -> int:
+        return max(0, self.total_ops - self.spent_ops)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent_ops >= self.total_ops
+
+    def charge(self, ops: int) -> None:
+        """Record ``ops`` simulated operations of work (post-paid: the
+        evaluation that crosses the line still completes)."""
+        if ops < 0:
+            raise ValueError("cannot charge negative work")
+        self.spent_ops += ops
+
+
 # -- memoization surface -------------------------------------------------------
 #
 # Modules that wrap pure lookup helpers in functools.lru_cache register them

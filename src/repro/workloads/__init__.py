@@ -20,6 +20,7 @@ from repro.workloads.wordcount import Wordcount
 from repro.workloads.tpcb import TpcB
 from repro.workloads.tpcc import TpcC
 from repro.workloads.tpch.queries import TpchQ1, TpchQ3, TpchQ12, TpchQ14, TpchQ19
+from repro.workloads.ycsb import Ycsb
 
 __all__ = [
     "ALL_WORKLOADS",
@@ -39,4 +40,5 @@ __all__ = [
     "TpchQ12",
     "TpchQ14",
     "TpchQ19",
+    "Ycsb",
 ]

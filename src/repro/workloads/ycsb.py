@@ -1,0 +1,167 @@
+"""YCSB-style key-value workload (the ROADMAP's first new workload class).
+
+A seeded KV store driven by a configurable operation mix — reads, updates,
+inserts and short scans — with Zipf-distributed key popularity, the shape
+the YCSB core workloads (A-E) interpolate between. The store genuinely
+executes: a dict of key -> value bytes is probed and mutated per operation
+and the answer is a checksum over the surviving store, so correctness
+tests can pin the result.
+
+Besides running standalone (``python -m repro run ycsb``), the mix weights
+and Zipf skew are one dimension of a :mod:`repro.search` scenario genome:
+the search engine mutates them to reshape the I/O stream it throws at the
+chaos and resilience stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.query.trace import TraceRecorder
+from repro.workloads.base import Workload, WorkloadProfile, register
+
+# canonical mix: YCSB-A-leaning with a scan tail (exercises all four ops)
+DEFAULT_MIX: Dict[str, float] = {
+    "reads": 0.50,
+    "updates": 0.25,
+    "inserts": 0.15,
+    "scans": 0.10,
+}
+DEFAULT_ZIPF_THETA = 0.9  # YCSB's "zipfian" request distribution skew
+VALUE_BYTES = 100  # YCSB default: 10 fields x 10 bytes
+KEY_ENTRY_BYTES = 32  # hash-table slot: key, pointer, metadata
+SCAN_SPAN = 16  # records touched per scan op
+INSTR_PER_OP = 45  # hash + probe + (de)serialize
+
+
+def zipf_weights(population: int, theta: float) -> np.ndarray:
+    """Bounded-Zipf popularity weights over ``population`` ranked keys."""
+    if population < 1:
+        raise ValueError("population must be >= 1")
+    if theta < 0:
+        raise ValueError("zipf theta must be >= 0")
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks ** -theta
+    return weights / weights.sum()
+
+
+def normalized_mix(mix: Dict[str, float]) -> Dict[str, float]:
+    """Validate and normalize a raw mix-weight dict to fractions."""
+    unknown = sorted(set(mix) - set(DEFAULT_MIX))
+    if unknown:
+        raise ValueError(f"unknown mix keys: {', '.join(unknown)}")
+    full = {op: float(mix.get(op, 0.0)) for op in sorted(DEFAULT_MIX)}
+    for op, weight in sorted(full.items()):
+        if weight < 0:
+            raise ValueError(f"mix weight {op} must be >= 0, got {weight}")
+    total = sum(full.values())
+    if total <= 0:
+        raise ValueError("mix weights must not all be zero")
+    return {op: weight / total for op, weight in sorted(full.items())}
+
+
+def mix_write_fraction(mix: Dict[str, float]) -> float:
+    """Fraction of operations that mutate the store (updates + inserts)."""
+    full = normalized_mix(mix)
+    return full["updates"] + full["inserts"]
+
+
+@register
+class Ycsb(Workload):
+    name = "ycsb"
+    description = "YCSB-style KV mix: reads/updates/inserts/scans, Zipf keys"
+
+    def __init__(
+        self,
+        scale_rows: int | None = None,
+        seed: int = 7,
+        mix: Dict[str, float] | None = None,
+        zipf_theta: float = DEFAULT_ZIPF_THETA,
+    ) -> None:
+        super().__init__(scale_rows, seed)
+        self.mix = normalized_mix(mix if mix is not None else DEFAULT_MIX)
+        self.zipf_theta = zipf_theta
+
+    @staticmethod
+    def default_rows() -> int:
+        return 60_000  # operations against a 20k-record store
+
+    def run(self) -> WorkloadProfile:
+        ops = self.scale_rows
+        population = max(1024, ops // 3)  # preloaded record count
+        rng = np.random.default_rng(self.seed)
+
+        store: Dict[int, int] = {
+            key: (key * 0x9E3779B1) & 0xFFFFFFFF for key in range(population)
+        }
+        next_key = population
+
+        # draw the whole op stream up front: kinds from the mix, targets
+        # from the bounded-Zipf popularity over the current keyspace rank
+        kinds = rng.choice(
+            len(DEFAULT_MIX),
+            size=ops,
+            p=[self.mix[op] for op in sorted(DEFAULT_MIX)],
+        )
+        targets = rng.choice(population, size=ops, p=zipf_weights(population, self.zipf_theta))
+
+        recorder = TraceRecorder(seed=self.seed, sample_every=16)
+        kind_names = sorted(DEFAULT_MIX)  # inserts, reads, scans, updates
+        counts = {op: 0 for op in kind_names}
+        checksum = 0
+        table_bytes = population * KEY_ENTRY_BYTES
+        value_region_bytes = population * VALUE_BYTES
+
+        for kind_idx, target in zip(kinds.tolist(), targets.tolist()):
+            op = kind_names[kind_idx]
+            counts[op] += 1
+            if op == "reads":
+                checksum = (checksum + store.get(target, 0)) & 0xFFFFFFFF
+                recorder.read_workset(table_bytes, 1, hot_fraction=0.8)
+                recorder.read_workset(value_region_bytes, 1, hot_fraction=0.6)
+            elif op == "updates":
+                if target in store:
+                    store[target] = (store[target] * 31 + 7) & 0xFFFFFFFF
+                recorder.read_workset(table_bytes, 1, hot_fraction=0.8)
+                recorder.write_workset(value_region_bytes, 1, hot_fraction=0.6)
+            elif op == "inserts":
+                store[next_key] = (next_key * 0x85EBCA6B) & 0xFFFFFFFF
+                next_key += 1
+                recorder.read_workset(table_bytes, 1, hot_fraction=0.8)
+                recorder.write_workset(table_bytes, 1, hot_fraction=0.8)
+                recorder.write_workset(value_region_bytes, 1, hot_fraction=0.6)
+            else:  # scans: short ordered range from the target key
+                span_sum = 0
+                for probe in range(target, min(target + SCAN_SPAN, next_key)):
+                    span_sum += store.get(probe, 0)
+                checksum = (checksum + span_sum) & 0xFFFFFFFF
+                recorder.read_workset(table_bytes, 1, hot_fraction=0.8)
+                recorder.read_workset(
+                    value_region_bytes, SCAN_SPAN, hot_fraction=0.3
+                )
+
+        input_bytes = ops * (KEY_ENTRY_BYTES + VALUE_BYTES)
+        result_bytes = 64
+        recorder.write_output(result_bytes)
+        answer: Tuple[int, int, int] = (checksum, len(store), next_key)
+        return WorkloadProfile(
+            name=self.name,
+            rows=ops,
+            input_bytes=input_bytes,
+            result_bytes=result_bytes,
+            instructions=float(INSTR_PER_OP * ops + SCAN_SPAN * counts["scans"]),
+            trace=recorder.finish(),
+            answer=answer,
+        )
+
+
+__all__ = [
+    "DEFAULT_MIX",
+    "DEFAULT_ZIPF_THETA",
+    "Ycsb",
+    "mix_write_fraction",
+    "normalized_mix",
+    "zipf_weights",
+]

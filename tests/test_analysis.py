@@ -43,6 +43,7 @@ RULE_FIXTURES = {
     "resilience_unbounded_retry.py": "resilience-unbounded-retry",
     "recovery_unserialized_state.py": "recovery-unserialized-state",
     "fleet_unseeded_topology.py": "fleet-unseeded-topology",
+    "search_unseeded_randomness.py": "search-unseeded-randomness",
 }
 
 

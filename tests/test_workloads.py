@@ -13,6 +13,13 @@ from repro.workloads.synthetic import Filter, make_records
 from repro.workloads.tpcb import TpcB
 from repro.workloads.tpch.datagen import generate
 from repro.workloads.tpch.queries import TpchQ1, TpchQ3
+from repro.workloads.ycsb import (
+    DEFAULT_MIX,
+    Ycsb,
+    mix_write_fraction,
+    normalized_mix,
+    zipf_weights,
+)
 
 # Table 1 of the paper
 PAPER_WRITE_RATIOS = {
@@ -36,8 +43,9 @@ def profiles():
 
 
 class TestRegistry:
-    def test_all_eleven_workloads_registered(self):
-        assert set(ALL_WORKLOADS) == set(PAPER_WRITE_RATIOS)
+    def test_all_paper_workloads_registered(self):
+        # Table 4's eleven plus the YCSB mix the search genome reshapes
+        assert set(ALL_WORKLOADS) == set(PAPER_WRITE_RATIOS) | {"ycsb"}
 
     def test_unknown_name_rejected(self):
         with pytest.raises(KeyError, match="known:"):
@@ -177,6 +185,58 @@ class TestTpchCorrectness:
         assert np.all(li.column("receiptdate") > li.column("shipdate"))
         orderdates = data.orders.column("orderdate")[li.column("orderkey")]
         assert np.all(li.column("shipdate") > orderdates)
+
+
+class TestYcsb:
+    def test_deterministic_given_seed(self):
+        a = workload_by_name("ycsb", seed=9, scale_rows=6_000).run()
+        b = workload_by_name("ycsb", seed=9, scale_rows=6_000).run()
+        assert a.answer == b.answer
+        assert a.trace.cpu_writes == b.trace.cpu_writes
+
+    def test_seed_changes_answer(self):
+        a = workload_by_name("ycsb", seed=1, scale_rows=6_000).run()
+        b = workload_by_name("ycsb", seed=2, scale_rows=6_000).run()
+        assert a.answer != b.answer
+
+    def test_inserts_grow_the_store(self):
+        profile = Ycsb(scale_rows=6_000, seed=7).run()
+        checksum, store_size, next_key = profile.answer
+        population = max(1024, 6_000 // 3)
+        inserts = store_size - population
+        assert inserts > 0  # 15% insert mix over 6k ops
+        assert next_key == population + inserts
+
+    def test_mix_is_normalized_and_validated(self):
+        mix = normalized_mix({"reads": 2.0, "updates": 2.0})
+        assert mix == {"inserts": 0.0, "reads": 0.5, "scans": 0.0, "updates": 0.5}
+        with pytest.raises(ValueError, match="unknown mix keys"):
+            normalized_mix({"deletes": 1.0})
+        with pytest.raises(ValueError, match="must be >= 0"):
+            normalized_mix({"reads": -0.1, "updates": 1.0})
+        with pytest.raises(ValueError, match="all be zero"):
+            normalized_mix({"reads": 0.0})
+
+    def test_mix_write_fraction(self):
+        assert mix_write_fraction({"reads": 1.0, "updates": 1.0}) == 0.5
+        assert mix_write_fraction(DEFAULT_MIX) == pytest.approx(0.40)
+
+    def test_zipf_weights_sum_and_skew(self):
+        flat = zipf_weights(100, 0.0)
+        skewed = zipf_weights(100, 1.2)
+        assert float(flat.sum()) == pytest.approx(1.0)
+        assert float(skewed.sum()) == pytest.approx(1.0)
+        assert flat[0] == pytest.approx(flat[-1])
+        assert skewed[0] > 10 * skewed[-1]  # head concentrates with theta
+
+    def test_write_heavier_mix_raises_write_ratio(self):
+        read_heavy = Ycsb(
+            scale_rows=6_000, mix={"reads": 0.9, "updates": 0.1}
+        ).run()
+        write_heavy = Ycsb(
+            scale_rows=6_000, mix={"reads": 0.1, "updates": 0.9}
+        ).run()
+        assert write_heavy.write_ratio > read_heavy.write_ratio
 
 
 class TestTransactional:
